@@ -1,0 +1,57 @@
+// Ablation: edge-assignment strategies. The paper's even-edge vertex-cut (section 3.2.1)
+// is compared against hash-by-source assignment: hashing keeps each vertex's out-edges
+// together but inherits the power-law imbalance, which serializes triggers on the
+// heaviest partition.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cgraph;
+  const auto env = bench::BenchEnv::FromArgs(argc, argv);
+  const CostModel cost = env.Cost();
+
+  const auto specs = bench::BenchDatasets(env);
+  const auto& spec = specs.back();
+  const EdgeList edges = GenerateDataset(spec);
+  const uint32_t parts = bench::PartitionCountFor(edges, env);
+  const VertexId source = PickSourceVertex(edges);
+
+  std::printf("== Ablation: edge assignment strategies on %s (%u partitions) ==\n\n",
+              spec.name.c_str(), parts);
+  TablePrinter table({"Strategy", "Replication", "Max/min partition edges", "Makespan (norm)"});
+
+  double base_time = 0.0;
+  auto run_with = [&](const char* label, EdgeAssignment assignment, bool core) {
+    PartitionOptions popts;
+    popts.num_partitions = parts;
+    popts.assignment = assignment;
+    popts.core_subgraph = core;
+    const PartitionedGraph graph = PartitionedGraphBuilder::Build(edges, popts);
+    uint64_t max_edges = 0;
+    uint64_t min_edges = UINT64_MAX;
+    for (const auto& part : graph.partitions()) {
+      max_edges = std::max(max_edges, part.num_local_edges());
+      min_edges = std::min(min_edges, part.num_local_edges());
+    }
+    LtpEngine engine(&graph, env.Engine());
+    for (const std::string& name : BenchmarkJobNames(env.jobs)) {
+      engine.AddJob(MakeProgram(name, source));
+    }
+    const RunReport report = engine.Run();
+    const double time = report.ModeledMakespan(cost);
+    if (base_time == 0.0) {
+      base_time = time;
+    }
+    table.AddRow({label, FormatDouble(graph.replication_factor(), 2),
+                  std::to_string(max_edges) + " / " + std::to_string(min_edges),
+                  bench::Norm(time, base_time)});
+  };
+
+  run_with("even-edge chunks + core (paper)", EdgeAssignment::kChunkedEvenEdges, true);
+  run_with("even-edge chunks", EdgeAssignment::kChunkedEvenEdges, false);
+  run_with("hash by source", EdgeAssignment::kHashBySource, false);
+  table.Print();
+  return 0;
+}

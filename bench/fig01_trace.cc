@@ -1,0 +1,41 @@
+// Figure 1: concurrent-job trace on a social-network platform.
+//
+// (a) number of concurrent CGP jobs over a week; (b) ratio of the graph's partitions
+// shared by more than k jobs. The paper's production trace is proprietary; this harness
+// regenerates both panels from the synthetic trace generator (see DESIGN.md).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/trace/job_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace cgraph;
+  (void)bench::BenchEnv::FromArgs(argc, argv);
+
+  TraceOptions options;
+  const TraceSummary summary = GenerateJobTrace(options);
+
+  std::printf("== Figure 1(a): Number of CGP jobs over time (hourly, sampled every 6h) ==\n");
+  TablePrinter jobs_table({"Hour", "Concurrent jobs"});
+  for (size_t i = 0; i < summary.points.size(); i += 6) {
+    jobs_table.AddRow({FormatDouble(summary.points[i].hour, 0),
+                       std::to_string(summary.points[i].concurrent_jobs)});
+  }
+  jobs_table.Print();
+  std::printf("peak concurrent jobs: %u (paper: >20 at peak)\n", summary.peak_concurrent_jobs);
+  std::printf("mean concurrent jobs: %s\n\n", FormatDouble(summary.mean_concurrent_jobs, 2).c_str());
+
+  std::printf("== Figure 1(b): Ratio of partitions shared by more than k jobs (%%) ==\n");
+  TablePrinter share_table({"Hour", ">1", ">2", ">4", ">8", ">16"});
+  for (size_t i = 0; i < summary.points.size(); i += 12) {
+    const auto& p = summary.points[i];
+    share_table.AddRow({FormatDouble(p.hour, 0), bench::Pct(p.shared_ratio[0]),
+                        bench::Pct(p.shared_ratio[1]), bench::Pct(p.shared_ratio[2]),
+                        bench::Pct(p.shared_ratio[3]), bench::Pct(p.shared_ratio[4])});
+  }
+  share_table.Print();
+  std::printf("time-average ratio shared by >1 job: %s%% (paper: >75%% of active partitions)\n",
+              bench::Pct(summary.mean_shared_by_more_than_one).c_str());
+  return 0;
+}

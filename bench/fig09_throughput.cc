@@ -1,0 +1,36 @@
+// Figure 9: total execution time of the four concurrent jobs under CLIP, Nxgraph,
+// Seraph, and CGraph, per dataset (normalized to CLIP). The paper's headline: on
+// hyperlink14 CGraph improves throughput 3.29x over CLIP, 4.32x over Nxgraph, and 2.31x
+// over Seraph.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cgraph;
+  const auto env = bench::BenchEnv::FromArgs(argc, argv);
+  const CostModel cost = env.Cost();
+
+  std::printf("== Figure 9: total execution time for the four jobs (normalized to CLIP) ==\n\n");
+  TablePrinter table({"Data set", "CLIP", "Nxgraph", "Seraph", "CGraph", "CGraph speedup vs"
+                      " CLIP/Nx/Seraph"});
+  for (const auto& spec : bench::BenchDatasets(env)) {
+    const bench::PreparedDataset ds = bench::Prepare(spec, env);
+    const double clip =
+        bench::RunBaseline(ds, env, BaselineSystem::kClip, env.jobs).ModeledMakespan(cost);
+    const double nxgraph =
+        bench::RunBaseline(ds, env, BaselineSystem::kNxgraph, env.jobs).ModeledMakespan(cost);
+    const double seraph =
+        bench::RunBaseline(ds, env, BaselineSystem::kSeraph, env.jobs).ModeledMakespan(cost);
+    const double cgraph = bench::RunCgraph(ds, env, env.jobs).ModeledMakespan(cost);
+    table.AddRow({spec.name, "1.000", bench::Norm(nxgraph, clip), bench::Norm(seraph, clip),
+                  bench::Norm(cgraph, clip),
+                  bench::Norm(clip, cgraph) + "x / " + bench::Norm(nxgraph, cgraph) + "x / " +
+                      bench::Norm(seraph, cgraph) + "x"});
+  }
+  table.Print();
+  std::printf("\npaper shape: CGraph fastest everywhere; on hyperlink14 the speedups are\n"
+              "3.29x (CLIP), 4.32x (Nxgraph), 2.31x (Seraph).\n");
+  return 0;
+}

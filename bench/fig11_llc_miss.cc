@@ -1,0 +1,28 @@
+// Figure 11: last-level cache miss rate of the four-job mix under each system, per
+// dataset. Paper example: 89.5% (Nxgraph) vs 29.6% (CGraph) on hyperlink14.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cgraph;
+  const auto env = bench::BenchEnv::FromArgs(argc, argv);
+
+  std::printf("== Figure 11: LLC miss rate (%%) for the four jobs ==\n\n");
+  TablePrinter table({"Data set", "CLIP", "Nxgraph", "Seraph", "CGraph"});
+  for (const auto& spec : bench::BenchDatasets(env)) {
+    const bench::PreparedDataset ds = bench::Prepare(spec, env);
+    table.AddRow(
+        {spec.name,
+         bench::Pct(bench::RunBaseline(ds, env, BaselineSystem::kClip, env.jobs).cache.miss_rate()),
+         bench::Pct(
+             bench::RunBaseline(ds, env, BaselineSystem::kNxgraph, env.jobs).cache.miss_rate()),
+         bench::Pct(
+             bench::RunBaseline(ds, env, BaselineSystem::kSeraph, env.jobs).cache.miss_rate()),
+         bench::Pct(bench::RunCgraph(ds, env, env.jobs).cache.miss_rate())});
+  }
+  table.Print();
+  std::printf("\npaper shape: CLIP >= Nxgraph >= Seraph > CGraph on every dataset.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 15: CPU utilization of the vertex processing for the four jobs — the fraction
+// of modeled time the cores spend computing rather than stalled on data. The paper shows
+// CGraph's cores almost fully utilized and the baselines starved by data access.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cgraph;
+  const auto env = bench::BenchEnv::FromArgs(argc, argv);
+  const CostModel cost = env.Cost();
+
+  std::printf("== Figure 15: CPU utilization (%%) for the four jobs ==\n\n");
+  TablePrinter table({"Data set", "CLIP", "Nxgraph", "Seraph", "CGraph"});
+  for (const auto& spec : bench::BenchDatasets(env)) {
+    const bench::PreparedDataset ds = bench::Prepare(spec, env);
+    table.AddRow(
+        {spec.name,
+         bench::Pct(
+             bench::RunBaseline(ds, env, BaselineSystem::kClip, env.jobs).CpuUtilization(cost)),
+         bench::Pct(
+             bench::RunBaseline(ds, env, BaselineSystem::kNxgraph, env.jobs).CpuUtilization(cost)),
+         bench::Pct(
+             bench::RunBaseline(ds, env, BaselineSystem::kSeraph, env.jobs).CpuUtilization(cost)),
+         bench::Pct(bench::RunCgraph(ds, env, env.jobs).CpuUtilization(cost))});
+  }
+  table.Print();
+  std::printf("\npaper shape: CGraph highest on every dataset.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 16: total execution time of eight jobs over a chain of snapshots of
+// hyperlink14 as the per-snapshot change ratio grows from 0.005% to 5%, for Seraph-VT,
+// Seraph, and CGraph (normalized to Seraph-VT at 0.005%).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cgraph;
+  auto env = bench::BenchEnv::FromArgs(argc, argv);
+  env.jobs = 8;
+  const CostModel cost = env.Cost();
+
+  const auto specs = bench::BenchDatasets(env);
+  const auto& spec = specs.back();
+  std::printf("== Figure 16: eight jobs over snapshots of %s with changes ==\n", spec.name.c_str());
+  std::printf("(normalized to Seraph-VT at change ratio 0.005%%)\n\n");
+
+  TablePrinter table({"Changed edges", "Seraph-VT", "Seraph", "CGraph"});
+  double base = 0.0;
+  for (const double ratio : {0.00005, 0.0005, 0.005, 0.05}) {
+    const bench::EvolvingSetup setup = bench::PrepareEvolving(spec, env, env.jobs, ratio);
+    const double vt =
+        bench::RunBaselineEvolving(setup, env, BaselineSystem::kSeraphVt).ModeledMakespan(cost);
+    const double seraph =
+        bench::RunBaselineEvolving(setup, env, BaselineSystem::kSeraph).ModeledMakespan(cost);
+    const double cgraph = bench::RunCgraphEvolving(setup, env).ModeledMakespan(cost);
+    if (base == 0.0) {
+      base = vt;
+    }
+    table.AddRow({FormatDouble(ratio * 100.0, 3) + "%", bench::Norm(vt, base),
+                  bench::Norm(seraph, base), bench::Norm(cgraph, base)});
+  }
+  table.Print();
+  std::printf("\npaper shape: CGraph best at every ratio; its time grows with the ratio\n"
+              "(fewer shared partitions across snapshots).\n");
+  return 0;
+}

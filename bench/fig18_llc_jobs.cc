@@ -1,0 +1,39 @@
+// Figure 18: LLC miss rate vs number of jobs on snapshot chains of hyperlink14 (5%
+// change ratio) for Seraph-VT, Seraph, and CGraph. Paper example: CGraph's miss rate
+// with eight jobs is only 32.8% of its one-job rate, while the baselines' rates rise.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace cgraph;
+  auto env = bench::BenchEnv::FromArgs(argc, argv);
+
+  const auto specs = bench::BenchDatasets(env);
+  const auto& spec = specs.back();
+  std::printf("== Figure 18: LLC miss rate (%%) vs number of jobs on %s snapshots ==\n\n",
+              spec.name.c_str());
+  TablePrinter table({"Jobs", "Seraph-VT", "Seraph", "CGraph"});
+  double cgraph_one = 0.0;
+  double cgraph_eight = 0.0;
+  for (const size_t jobs : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const bench::EvolvingSetup setup = bench::PrepareEvolving(spec, env, jobs, 0.05);
+    const double vt =
+        bench::RunBaselineEvolving(setup, env, BaselineSystem::kSeraphVt).cache.miss_rate();
+    const double seraph =
+        bench::RunBaselineEvolving(setup, env, BaselineSystem::kSeraph).cache.miss_rate();
+    const double cgraph = bench::RunCgraphEvolving(setup, env).cache.miss_rate();
+    if (jobs == 1) {
+      cgraph_one = cgraph;
+    }
+    if (jobs == 8) {
+      cgraph_eight = cgraph;
+    }
+    table.AddRow({std::to_string(jobs), bench::Pct(vt), bench::Pct(seraph), bench::Pct(cgraph)});
+  }
+  table.Print();
+  std::printf("\nCGraph miss rate at 8 jobs / 1 job: %s (paper: 32.8%%)\n",
+              bench::Pct(cgraph_one > 0 ? cgraph_eight / cgraph_one : 0.0).c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Breadth-first search: hop counts from a source, i.e. SSSP over unit weights.
+
+#ifndef SRC_ALGORITHMS_BFS_H_
+#define SRC_ALGORITHMS_BFS_H_
+
+#include <limits>
+
+#include "src/core/vertex_program.h"
+
+namespace cgraph {
+
+class BfsProgram : public VertexProgram {
+ public:
+  explicit BfsProgram(VertexId source) : source_(source) {}
+
+  std::string_view name() const override { return "bfs"; }
+  AccKind acc_kind() const override { return AccKind::kMin; }
+
+  VertexState InitialState(const LocalVertexInfo& info) const override {
+    VertexState s;
+    s.value = std::numeric_limits<double>::infinity();
+    s.delta = info.global_id == source_ ? 0.0 : std::numeric_limits<double>::infinity();
+    return s;
+  }
+
+  bool IsActive(const VertexState& state) const override { return state.delta < state.value; }
+
+  void Compute(const GraphPartition& partition, LocalVertexId v,
+               std::span<VertexState> states, ScatterOps& ops) override {
+    VertexState& s = states[v];
+    if (s.delta < s.value) {
+      s.value = s.delta;
+    }
+    for (LocalVertexId target : partition.out_neighbors(v)) {
+      ops.Accumulate(target, s.value + 1.0);
+    }
+  }
+
+ private:
+  VertexId source_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_ALGORITHMS_BFS_H_

@@ -1,0 +1,78 @@
+#include "src/algorithms/factory.h"
+
+#include <vector>
+
+#include "src/algorithms/bfs.h"
+#include "src/algorithms/kcore.h"
+#include "src/algorithms/khop.h"
+#include "src/algorithms/pagerank.h"
+#include "src/algorithms/personalized_pagerank.h"
+#include "src/algorithms/scc.h"
+#include "src/algorithms/sssp.h"
+#include "src/algorithms/wcc.h"
+#include "src/common/check.h"
+
+namespace cgraph {
+
+VertexId PickSourceVertex(const EdgeList& edges) {
+  if (edges.num_vertices() == 0) {
+    return 0;
+  }
+  std::vector<uint32_t> out_degree(edges.num_vertices(), 0);
+  for (const Edge& e : edges.edges()) {
+    ++out_degree[e.src];
+  }
+  VertexId best = 0;
+  for (VertexId v = 1; v < edges.num_vertices(); ++v) {
+    if (out_degree[v] > out_degree[best]) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<VertexProgram> MakeProgram(const std::string& name, VertexId source,
+                                           uint32_t k) {
+  if (name == "pagerank") {
+    // Benchmark-grade tolerance: ~35-40 iterations, comparable to the other jobs in the
+    // mix so the four jobs stay concurrently active, as they are on the paper's
+    // billion-edge graphs (the correctness tests construct PageRankProgram with tighter
+    // epsilons explicitly).
+    return std::make_unique<PageRankProgram>(0.85, 1e-4);
+  }
+  if (name == "sssp") {
+    return std::make_unique<SsspProgram>(source);
+  }
+  if (name == "scc") {
+    return std::make_unique<SccProgram>();
+  }
+  if (name == "bfs") {
+    return std::make_unique<BfsProgram>(source);
+  }
+  if (name == "wcc") {
+    return std::make_unique<WccProgram>();
+  }
+  if (name == "kcore") {
+    return std::make_unique<KCoreProgram>(k);
+  }
+  if (name == "ppr") {
+    return std::make_unique<PersonalizedPageRankProgram>(source, 0.85, 1e-7);
+  }
+  if (name == "khop") {
+    return std::make_unique<KHopProgram>(source, k);
+  }
+  CGRAPH_CHECK(false);
+  return nullptr;
+}
+
+std::vector<std::string> BenchmarkJobNames(size_t count) {
+  static const char* kMix[] = {"pagerank", "sssp", "scc", "bfs"};
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    names.emplace_back(kMix[i % 4]);
+  }
+  return names;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,31 @@
+// Convenience construction of the paper's benchmark job mix.
+
+#ifndef SRC_ALGORITHMS_FACTORY_H_
+#define SRC_ALGORITHMS_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/vertex_program.h"
+#include "src/graph/edge_list.h"
+
+namespace cgraph {
+
+// Deterministic source pick for SSSP/BFS: the vertex with the highest out-degree (lowest
+// id on ties) — mirrors the common practice of rooting traversals at a hub so they reach
+// most of a power-law graph.
+VertexId PickSourceVertex(const EdgeList& edges);
+
+// Creates a program by name: "pagerank", "sssp", "scc", "bfs", "wcc", "kcore", "ppr",
+// "khop". `source` feeds sssp/bfs/ppr/khop; `k` feeds kcore and khop.
+std::unique_ptr<VertexProgram> MakeProgram(const std::string& name, VertexId source,
+                                           uint32_t k = 4);
+
+// The paper's four-job benchmark mix, in submission order: PageRank, SSSP, SCC, BFS
+// (section 4), repeated cyclically to `count` jobs (section 4.4 builds 8 jobs this way).
+std::vector<std::string> BenchmarkJobNames(size_t count);
+
+}  // namespace cgraph
+
+#endif  // SRC_ALGORITHMS_FACTORY_H_

@@ -1,0 +1,59 @@
+// k-core decomposition membership: iterative peeling of vertices whose (undirected)
+// degree falls below k. On convergence aux == 0 marks vertices in the k-core and
+// aux == 1 marks peeled vertices; value holds the residual degree.
+
+#ifndef SRC_ALGORITHMS_KCORE_H_
+#define SRC_ALGORITHMS_KCORE_H_
+
+#include "src/core/vertex_program.h"
+
+namespace cgraph {
+
+class KCoreProgram : public VertexProgram {
+ public:
+  explicit KCoreProgram(uint32_t k) : k_(k) {}
+
+  std::string_view name() const override { return "kcore"; }
+  AccKind acc_kind() const override { return AccKind::kSum; }
+
+  VertexState InitialState(const LocalVertexInfo& info) const override {
+    VertexState s;
+    s.value = static_cast<double>(info.global_total_degree);
+    s.delta = 0.0;
+    s.aux = 0.0;
+    return s;
+  }
+
+  bool IsActive(const VertexState& state) const override {
+    // Unremoved vertices that lost neighbors must re-check their residual degree.
+    return state.delta != 0.0 && state.aux == 0.0;
+  }
+
+  // The first sweep must run unconditionally so low-degree vertices peel themselves.
+  bool InitiallyActive(const LocalVertexInfo& info, const VertexState& state) const override {
+    (void)info;
+    return state.aux == 0.0;
+  }
+
+  void Compute(const GraphPartition& partition, LocalVertexId v,
+               std::span<VertexState> states, ScatterOps& ops) override {
+    VertexState& s = states[v];
+    s.value += s.delta;  // delta is a (negative) sum of lost neighbors.
+    if (s.aux == 0.0 && s.value < static_cast<double>(k_)) {
+      s.aux = 1.0;  // Peel: leave the core and notify all neighbors once.
+      for (LocalVertexId target : partition.out_neighbors(v)) {
+        ops.Accumulate(target, -1.0);
+      }
+      for (LocalVertexId target : partition.in_neighbors(v)) {
+        ops.Accumulate(target, -1.0);
+      }
+    }
+  }
+
+ private:
+  uint32_t k_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_ALGORITHMS_KCORE_H_

@@ -1,0 +1,323 @@
+#include "src/algorithms/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace cgraph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<double> ReferencePageRank(const Graph& graph, double damping, double epsilon,
+                                      uint64_t max_iterations) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> value(n, 0.0);
+  std::vector<double> delta(n, 1.0 - damping);
+  std::vector<double> delta_next(n, 0.0);
+  for (uint64_t iter = 0; iter < max_iterations; ++iter) {
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (std::fabs(delta[v]) <= epsilon) {
+        continue;
+      }
+      any = true;
+      value[v] += delta[v];
+      const uint32_t out_degree = graph.out_degree(v);
+      if (out_degree == 0) {
+        continue;
+      }
+      const double contribution = damping * delta[v] / out_degree;
+      for (VertexId t : graph.out_neighbors(v)) {
+        delta_next[t] += contribution;
+      }
+    }
+    if (!any) {
+      break;
+    }
+    std::swap(delta, delta_next);
+    std::fill(delta_next.begin(), delta_next.end(), 0.0);
+  }
+  return value;
+}
+
+std::vector<double> ReferenceSssp(const Graph& graph, VertexId source) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> dist(n, kInf);
+  if (source >= n) {
+    return dist;
+  }
+  dist[source] = 0.0;
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) {
+      continue;
+    }
+    const auto targets = graph.out_neighbors(v);
+    const auto weights = graph.out_weights(v);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const double candidate = dist[v] + static_cast<double>(weights[i]);
+      if (candidate < dist[targets[i]]) {
+        dist[targets[i]] = candidate;
+        heap.push({candidate, targets[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> ReferenceBfs(const Graph& graph, VertexId source) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> level(n, kInf);
+  if (source >= n) {
+    return level;
+  }
+  level[source] = 0.0;
+  std::queue<VertexId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (VertexId t : graph.out_neighbors(v)) {
+      if (level[t] == kInf) {
+        level[t] = level[v] + 1.0;
+        frontier.push(t);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<double> ReferenceWcc(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> parent(n);
+  for (VertexId v = 0; v < n; ++v) {
+    parent[v] = v;
+  }
+  // Union-find with path halving.
+  auto find = [&parent](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId t : graph.out_neighbors(v)) {
+      const VertexId a = find(v);
+      const VertexId b = find(t);
+      if (a != b) {
+        // Union by min id so roots are the minimum members.
+        if (a < b) {
+          parent[b] = a;
+        } else {
+          parent[a] = b;
+        }
+      }
+    }
+  }
+  std::vector<double> label(n);
+  for (VertexId v = 0; v < n; ++v) {
+    label[v] = static_cast<double>(find(v));
+  }
+  return label;
+}
+
+std::vector<double> ReferenceKCore(const Graph& graph, uint32_t k) {
+  const VertexId n = graph.num_vertices();
+  std::vector<int64_t> degree(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<int64_t>(graph.degree(v));
+  }
+  std::vector<bool> removed(n, false);
+  std::queue<VertexId> peel;
+  for (VertexId v = 0; v < n; ++v) {
+    if (degree[v] < static_cast<int64_t>(k)) {
+      peel.push(v);
+      removed[v] = true;
+    }
+  }
+  while (!peel.empty()) {
+    const VertexId v = peel.front();
+    peel.pop();
+    auto relax = [&](VertexId t) {
+      --degree[t];
+      if (!removed[t] && degree[t] < static_cast<int64_t>(k)) {
+        removed[t] = true;
+        peel.push(t);
+      }
+    };
+    for (VertexId t : graph.out_neighbors(v)) {
+      relax(t);
+    }
+    for (VertexId t : graph.in_neighbors(v)) {
+      relax(t);
+    }
+  }
+  std::vector<double> in_core(n);
+  for (VertexId v = 0; v < n; ++v) {
+    in_core[v] = removed[v] ? 0.0 : 1.0;
+  }
+  return in_core;
+}
+
+std::vector<double> ReferenceScc(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  // Iterative Tarjan.
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;
+  std::vector<double> component(n, -1.0);
+
+  struct Frame {
+    VertexId v;
+    size_t edge = 0;
+  };
+
+  uint32_t next_index = 0;
+  std::vector<Frame> call_stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) {
+      continue;
+    }
+    call_stack.push_back({root, 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const VertexId v = frame.v;
+      if (frame.edge == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const auto targets = graph.out_neighbors(v);
+      bool descended = false;
+      while (frame.edge < targets.size()) {
+        const VertexId t = targets[frame.edge];
+        ++frame.edge;
+        if (index[t] == kUnvisited) {
+          call_stack.push_back({t, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[t]) {
+          low[v] = std::min(low[v], index[t]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      if (low[v] == index[v]) {
+        // v is the root of an SCC; pop and label by minimum member id.
+        VertexId min_member = v;
+        size_t first = stack.size();
+        while (true) {
+          --first;
+          min_member = std::min(min_member, stack[first]);
+          if (stack[first] == v) {
+            break;
+          }
+        }
+        for (size_t i = first; i < stack.size(); ++i) {
+          component[stack[i]] = static_cast<double>(min_member);
+          on_stack[stack[i]] = false;
+        }
+        stack.resize(first);
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        low[call_stack.back().v] = std::min(low[call_stack.back().v], low[v]);
+      }
+    }
+  }
+  return component;
+}
+
+std::vector<double> ReferencePersonalizedPageRank(const Graph& graph, VertexId seed,
+                                                  double damping, double epsilon,
+                                                  uint64_t max_iterations) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> value(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  std::vector<double> delta_next(n, 0.0);
+  if (seed < n) {
+    delta[seed] = 1.0 - damping;
+  }
+  for (uint64_t iter = 0; iter < max_iterations; ++iter) {
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (std::fabs(delta[v]) <= epsilon) {
+        continue;
+      }
+      any = true;
+      value[v] += delta[v];
+      const uint32_t out_degree = graph.out_degree(v);
+      if (out_degree == 0) {
+        continue;
+      }
+      const double contribution = damping * delta[v] / out_degree;
+      for (VertexId t : graph.out_neighbors(v)) {
+        delta_next[t] += contribution;
+      }
+    }
+    if (!any) {
+      break;
+    }
+    std::swap(delta, delta_next);
+    std::fill(delta_next.begin(), delta_next.end(), 0.0);
+  }
+  return value;
+}
+
+std::vector<double> ReferenceKHop(const Graph& graph, VertexId source, uint32_t max_hops) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> level(n, kInf);
+  if (source >= n) {
+    return level;
+  }
+  level[source] = 0.0;
+  std::queue<VertexId> frontier;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    if (level[v] >= static_cast<double>(max_hops)) {
+      continue;
+    }
+    for (VertexId t : graph.out_neighbors(v)) {
+      if (level[t] == kInf) {
+        level[t] = level[v] + 1.0;
+        frontier.push(t);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<double> CanonicalizeLabels(const std::vector<double>& labels) {
+  std::map<double, double> representative;  // label -> min vertex id with that label.
+  for (size_t v = 0; v < labels.size(); ++v) {
+    auto [it, inserted] = representative.try_emplace(labels[v], static_cast<double>(v));
+    if (!inserted) {
+      it->second = std::min(it->second, static_cast<double>(v));
+    }
+  }
+  std::vector<double> canonical(labels.size());
+  for (size_t v = 0; v < labels.size(); ++v) {
+    canonical[v] = representative[labels[v]];
+  }
+  return canonical;
+}
+
+}  // namespace cgraph

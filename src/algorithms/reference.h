@@ -1,0 +1,55 @@
+// Single-threaded reference implementations on whole-graph CSR.
+//
+// These are the ground truth that every executor (LTP engine and all baselines) is
+// cross-validated against: exact equality for min/max-accumulator algorithms, small
+// tolerance for PageRank (floating-point associativity differs across schedules).
+
+#ifndef SRC_ALGORITHMS_REFERENCE_H_
+#define SRC_ALGORITHMS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace cgraph {
+
+// Delta-accumulation PageRank with the same semantics as PageRankProgram (no dangling
+// redistribution). Returns per-vertex values.
+std::vector<double> ReferencePageRank(const Graph& graph, double damping, double epsilon,
+                                      uint64_t max_iterations = 10000);
+
+// Dijkstra distances using double arithmetic identical to SsspProgram's relaxations.
+// Unreachable vertices hold +infinity.
+std::vector<double> ReferenceSssp(const Graph& graph, VertexId source);
+
+// BFS hop counts; unreachable vertices hold +infinity.
+std::vector<double> ReferenceBfs(const Graph& graph, VertexId source);
+
+// Weakly connected components labeled by the minimum vertex id in each component.
+std::vector<double> ReferenceWcc(const Graph& graph);
+
+// k-core membership: 1.0 if the vertex survives peeling at threshold k (degree counted
+// over both directions, self-loops counted twice), else 0.0.
+std::vector<double> ReferenceKCore(const Graph& graph, uint32_t k);
+
+// Strongly connected components, labeled by the minimum vertex id in each component
+// (iterative Tarjan).
+std::vector<double> ReferenceScc(const Graph& graph);
+
+// Personalized PageRank with restart mass on `seed` (same semantics as
+// PersonalizedPageRankProgram).
+std::vector<double> ReferencePersonalizedPageRank(const Graph& graph, VertexId seed,
+                                                  double damping, double epsilon,
+                                                  uint64_t max_iterations = 10000);
+
+// Hop distances truncated at max_hops; vertices further away hold +infinity.
+std::vector<double> ReferenceKHop(const Graph& graph, VertexId source, uint32_t max_hops);
+
+// Normalizes arbitrary component labels to min-member canonical labels so two labelings
+// can be compared for identical partitions.
+std::vector<double> CanonicalizeLabels(const std::vector<double>& labels);
+
+}  // namespace cgraph
+
+#endif  // SRC_ALGORITHMS_REFERENCE_H_

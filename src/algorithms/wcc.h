@@ -1,0 +1,44 @@
+// Weakly connected components: min-label propagation over both edge directions (the
+// graph is treated as undirected).
+
+#ifndef SRC_ALGORITHMS_WCC_H_
+#define SRC_ALGORITHMS_WCC_H_
+
+#include <limits>
+
+#include "src/core/vertex_program.h"
+
+namespace cgraph {
+
+class WccProgram : public VertexProgram {
+ public:
+  std::string_view name() const override { return "wcc"; }
+  AccKind acc_kind() const override { return AccKind::kMin; }
+
+  VertexState InitialState(const LocalVertexInfo& info) const override {
+    VertexState s;
+    s.value = std::numeric_limits<double>::infinity();
+    s.delta = static_cast<double>(info.global_id);
+    return s;
+  }
+
+  bool IsActive(const VertexState& state) const override { return state.delta < state.value; }
+
+  void Compute(const GraphPartition& partition, LocalVertexId v,
+               std::span<VertexState> states, ScatterOps& ops) override {
+    VertexState& s = states[v];
+    if (s.delta < s.value) {
+      s.value = s.delta;
+    }
+    for (LocalVertexId target : partition.out_neighbors(v)) {
+      ops.Accumulate(target, s.value);
+    }
+    for (LocalVertexId target : partition.in_neighbors(v)) {
+      ops.Accumulate(target, s.value);
+    }
+  }
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_ALGORITHMS_WCC_H_

@@ -1,0 +1,139 @@
+#include "src/cache/cache_sim.h"
+
+#include <algorithm>
+
+namespace cgraph {
+
+bool CacheSim::TouchSegment(const ItemKey& item, uint32_t segment_index, uint64_t bytes,
+                            bool pin) {
+  const uint64_t key = PackSegmentKey(item, segment_index);
+  ++stats_.touches;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    ++it->second.touches;
+    if (pin && !it->second.pinned) {
+      it->second.pinned = true;
+      pinned_keys_.push_back(key);
+    }
+    return true;
+  }
+
+  ++stats_.misses;
+  stats_.miss_bytes += bytes;
+  EvictUntilFits(bytes);
+  lru_.push_front(key);
+  Entry entry;
+  entry.lru_pos = lru_.begin();
+  entry.bytes = bytes;
+  entry.touches = 1;
+  entry.pinned = pin;
+  entries_.emplace(key, entry);
+  occupancy_ += bytes;
+  if (pin) {
+    pinned_keys_.push_back(key);
+  }
+  if (occupancy_ > capacity_) {
+    ++stats_.pinned_overflows;
+  }
+  return false;
+}
+
+uint64_t CacheSim::TouchItem(const ItemKey& item, uint64_t total_bytes, bool pin,
+                             uint64_t* out_misses) {
+  uint64_t missed_bytes = 0;
+  uint64_t missed_segments = 0;
+  const uint32_t segments = SegmentsFor(total_bytes);
+  uint64_t remaining = total_bytes;
+  for (uint32_t i = 0; i < segments; ++i) {
+    const uint64_t seg = std::min(remaining, segment_bytes_);
+    remaining -= seg;
+    if (!TouchSegment(item, i, seg, pin)) {
+      missed_bytes += seg;
+      ++missed_segments;
+    }
+  }
+  if (out_misses != nullptr) {
+    *out_misses += missed_segments;
+  }
+  return missed_bytes;
+}
+
+void CacheSim::UnpinItem(const ItemKey& item, uint64_t total_bytes) {
+  const uint32_t segments = SegmentsFor(total_bytes);
+  for (uint32_t i = 0; i < segments; ++i) {
+    auto it = entries_.find(PackSegmentKey(item, i));
+    if (it != entries_.end()) {
+      it->second.pinned = false;
+    }
+  }
+  // Lazy cleanup of the pinned-key list; entries whose pin flag is already false are
+  // skipped when unpinning all.
+}
+
+void CacheSim::UnpinAll() {
+  for (uint64_t key : pinned_keys_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.pinned = false;
+    }
+  }
+  pinned_keys_.clear();
+}
+
+void CacheSim::Flush() {
+  lru_.clear();
+  entries_.clear();
+  pinned_keys_.clear();
+  occupancy_ = 0;
+}
+
+void CacheSim::EvictUntilFits(uint64_t needed) {
+  if (needed > capacity_) {
+    // A single segment larger than the cache: evict everything unpinned and overflow.
+    needed = capacity_;
+  }
+  while (occupancy_ + needed > capacity_) {
+    if (!EvictOne()) {
+      return;  // Everything left is pinned; the caller overflows.
+    }
+  }
+}
+
+bool CacheSim::EvictOne() {
+  // Candidate selection: plain LRU takes the oldest unpinned entry; the frequency-aware
+  // policy inspects up to kFrequencyWindow unpinned tail entries and evicts the one with
+  // the fewest touches (ties to the older entry), so repeatedly-reused segments are not
+  // displaced by one-shot streaming data (paper section 2.2's critique of LRU).
+  auto victim = lru_.end();
+  uint32_t victim_touches = 0;
+  size_t inspected = 0;
+  const size_t window = policy_ == EvictionPolicy::kLru ? 1 : kFrequencyWindow;
+  for (auto it = lru_.end(); it != lru_.begin() && inspected < window;) {
+    --it;
+    auto entry_it = entries_.find(*it);
+    CGRAPH_DCHECK(entry_it != entries_.end());
+    if (entry_it->second.pinned) {
+      continue;  // Pinned entries are invisible to eviction and don't count as inspected.
+    }
+    ++inspected;
+    if (victim == lru_.end() || entry_it->second.touches < victim_touches) {
+      victim = it;
+      victim_touches = entry_it->second.touches;
+    }
+  }
+  if (victim == lru_.end()) {
+    return false;
+  }
+  auto entry_it = entries_.find(*victim);
+  occupancy_ -= entry_it->second.bytes;
+  entries_.erase(entry_it);
+  lru_.erase(victim);
+  ++stats_.evictions;
+  return true;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,99 @@
+#include "src/cache/memory_hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgraph {
+
+uint32_t ExpectedTouchedSegments(uint64_t item_bytes, uint64_t segment_bytes, uint32_t active,
+                                 uint32_t total) {
+  if (item_bytes == 0 || active == 0 || total == 0) {
+    return 0;
+  }
+  const uint32_t segments =
+      static_cast<uint32_t>((item_bytes + segment_bytes - 1) / segment_bytes);
+  if (active >= total) {
+    return segments;
+  }
+  const double per_segment = std::max(1.0, static_cast<double>(total) / segments);
+  const double fraction = static_cast<double>(active) / static_cast<double>(total);
+  const double touch_probability = 1.0 - std::pow(1.0 - fraction, per_segment);
+  return std::min(
+      segments, std::max<uint32_t>(1, static_cast<uint32_t>(
+                                          std::ceil(touch_probability * segments))));
+}
+
+AccessCharge MemoryHierarchy::AccessSegment(const ItemKey& item, uint64_t item_bytes,
+                                            uint32_t segment_index) {
+  AccessCharge charge;
+  const uint32_t segments = cache_.SegmentsFor(item_bytes);
+  if (segments == 0) {
+    return charge;
+  }
+  const uint32_t index = segment_index % segments;
+  const uint64_t seg_bytes =
+      index + 1 == segments ? item_bytes - static_cast<uint64_t>(index) * cache_.segment_bytes()
+                            : cache_.segment_bytes();
+  ++charge.segment_touches;
+  if (cache_.TouchSegment(item, index, seg_bytes, /*pin=*/false)) {
+    charge.hit_bytes += seg_bytes;
+  } else {
+    ++charge.segment_misses;
+    const uint64_t from_disk = memory_.ServeMiss(item, item_bytes, seg_bytes);
+    if (from_disk > 0) {
+      charge.disk_bytes += from_disk;
+    } else {
+      charge.mem_bytes += seg_bytes;
+    }
+  }
+  return charge;
+}
+
+AccessCharge MemoryHierarchy::AccessPrefix(const ItemKey& item, uint64_t item_bytes,
+                                           uint32_t max_segments, bool pin) {
+  AccessCharge charge;
+  const uint32_t segments = std::min(cache_.SegmentsFor(item_bytes), max_segments);
+  uint64_t remaining = item_bytes;
+  for (uint32_t i = 0; i < segments; ++i) {
+    const uint64_t seg = std::min<uint64_t>(remaining, cache_.segment_bytes());
+    remaining -= seg;
+    ++charge.segment_touches;
+    if (cache_.TouchSegment(item, i, seg, pin)) {
+      charge.hit_bytes += seg;
+    } else {
+      ++charge.segment_misses;
+      const uint64_t from_disk = memory_.ServeMiss(item, item_bytes, seg);
+      if (from_disk > 0) {
+        charge.disk_bytes += from_disk;
+      } else {
+        charge.mem_bytes += seg;
+      }
+    }
+  }
+  return charge;
+}
+
+AccessCharge MemoryHierarchy::Access(const ItemKey& item, uint64_t item_bytes, bool pin) {
+  AccessCharge charge;
+  const uint32_t segments = cache_.SegmentsFor(item_bytes);
+  uint64_t remaining = item_bytes;
+  for (uint32_t i = 0; i < segments; ++i) {
+    const uint64_t seg = std::min<uint64_t>(remaining, cache_.segment_bytes());
+    remaining -= seg;
+    ++charge.segment_touches;
+    if (cache_.TouchSegment(item, i, seg, pin)) {
+      charge.hit_bytes += seg;
+    } else {
+      ++charge.segment_misses;
+      const uint64_t from_disk = memory_.ServeMiss(item, item_bytes, seg);
+      if (from_disk > 0) {
+        charge.disk_bytes += from_disk;  // Full item fault.
+      } else {
+        charge.mem_bytes += seg;
+      }
+    }
+  }
+  return charge;
+}
+
+}  // namespace cgraph

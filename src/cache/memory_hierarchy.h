@@ -1,0 +1,95 @@
+// Facade combining the LLC model and the memory tier.
+//
+// Executors describe every data touch as (item, bytes, pin); the hierarchy resolves it to
+// cache-hit bytes, memory bytes, and disk bytes, which the metrics module converts into
+// modeled time. All executors in a comparison share identical hierarchy parameters.
+
+#ifndef SRC_CACHE_MEMORY_HIERARCHY_H_
+#define SRC_CACHE_MEMORY_HIERARCHY_H_
+
+#include <cstdint>
+
+#include "src/cache/cache_sim.h"
+#include "src/cache/memory_tier.h"
+
+namespace cgraph {
+
+struct HierarchyOptions {
+  uint64_t cache_capacity_bytes = 4ull << 20;   // Simulated LLC size.
+  uint64_t cache_segment_bytes = 64ull << 10;   // Touch granularity.
+  uint64_t memory_capacity_bytes = 256ull << 20;
+  EvictionPolicy eviction_policy = EvictionPolicy::kLru;
+};
+
+// Byte-level outcome of one item access.
+struct AccessCharge {
+  uint64_t hit_bytes = 0;
+  uint64_t mem_bytes = 0;
+  uint64_t disk_bytes = 0;
+  uint64_t segment_touches = 0;
+  uint64_t segment_misses = 0;
+
+  AccessCharge& operator+=(const AccessCharge& other) {
+    hit_bytes += other.hit_bytes;
+    mem_bytes += other.mem_bytes;
+    disk_bytes += other.disk_bytes;
+    segment_touches += other.segment_touches;
+    segment_misses += other.segment_misses;
+    return *this;
+  }
+
+  uint64_t total_bytes() const { return hit_bytes + mem_bytes + disk_bytes; }
+};
+
+// Expected number of an item's segments that hold at least one of `active` out of
+// `total` uniformly-spread vertices: ceil(segments * (1 - (1-f)^(vertices/segment))).
+// This models the paper's skipping of inactive data (section 3.2.2): sparse frontiers
+// touch few segments, dense ones effectively all.
+uint32_t ExpectedTouchedSegments(uint64_t item_bytes, uint64_t segment_bytes, uint32_t active,
+                                 uint32_t total);
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyOptions& options)
+      : cache_(options.cache_capacity_bytes, options.cache_segment_bytes,
+               options.eviction_policy),
+        memory_(options.memory_capacity_bytes) {}
+
+  // Touches all segments of `item` (total size `item_bytes`), optionally pinning them.
+  AccessCharge Access(const ItemKey& item, uint64_t item_bytes, bool pin);
+
+  // Touches a single segment of `item` (used to model stray accesses such as CLIP's
+  // beyond-neighborhood reads). `segment_index` is clamped into the item's range.
+  AccessCharge AccessSegment(const ItemKey& item, uint64_t item_bytes, uint32_t segment_index);
+
+  // Touches only the first `max_segments` segments of the item (selective loading of the
+  // data that holds active vertices, paper section 3.2.2).
+  AccessCharge AccessPrefix(const ItemKey& item, uint64_t item_bytes, uint32_t max_segments,
+                            bool pin);
+
+  // Pin management passthroughs (see CacheSim).
+  void UnpinAll() { cache_.UnpinAll(); }
+  void UnpinItem(const ItemKey& item, uint64_t item_bytes) { cache_.UnpinItem(item, item_bytes); }
+
+  // Drops cache contents (between sequentially-run jobs).
+  void FlushCache() { cache_.Flush(); }
+
+  // Memory-tier management.
+  void PreloadToMemory(const ItemKey& item, uint64_t item_bytes) {
+    memory_.Preload(item, item_bytes);
+  }
+  void DropFromMemory(const ItemKey& item) { memory_.Drop(item); }
+  void ClearMemory() { memory_.Clear(); }
+
+  const CacheSim& cache() const { return cache_; }
+  const MemoryTier& memory() const { return memory_; }
+  CacheSim& mutable_cache() { return cache_; }
+
+ private:
+  CacheSim cache_;
+  MemoryTier memory_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CACHE_MEMORY_HIERARCHY_H_

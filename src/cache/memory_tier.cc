@@ -1,0 +1,71 @@
+#include "src/cache/memory_tier.h"
+
+namespace cgraph {
+
+uint64_t MemoryTier::ServeMiss(const ItemKey& item, uint64_t item_bytes, uint64_t bytes) {
+  const uint64_t key = PackItemKey(item);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    stats_.mem_bytes += bytes;
+    return 0;
+  }
+  // Item fault: the whole item streams in from disk, so the full item size is charged
+  // (and returned for per-job attribution); later segment misses of the now-resident item
+  // cost only memory bandwidth.
+  FaultIn(key, item_bytes);
+  stats_.disk_bytes += item_bytes;
+  return item_bytes;
+}
+
+void MemoryTier::Preload(const ItemKey& item, uint64_t item_bytes) {
+  const uint64_t key = PackItemKey(item);
+  if (entries_.contains(key)) {
+    return;
+  }
+  FaultIn(key, item_bytes);
+}
+
+void MemoryTier::Drop(const ItemKey& item) {
+  const uint64_t key = PackItemKey(item);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  occupancy_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+}
+
+void MemoryTier::Clear() {
+  lru_.clear();
+  entries_.clear();
+  occupancy_ = 0;
+}
+
+void MemoryTier::FaultIn(uint64_t key, uint64_t item_bytes) {
+  ++stats_.faults;
+  EvictUntilFits(item_bytes);
+  lru_.push_front(key);
+  Entry entry;
+  entry.lru_pos = lru_.begin();
+  entry.bytes = item_bytes;
+  entries_.emplace(key, entry);
+  occupancy_ += item_bytes;
+}
+
+void MemoryTier::EvictUntilFits(uint64_t needed) {
+  while (occupancy_ + needed > capacity_ && !lru_.empty()) {
+    const uint64_t victim = lru_.back();
+    auto it = entries_.find(victim);
+    CGRAPH_DCHECK(it != entries_.end());
+    occupancy_ -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace cgraph

@@ -1,0 +1,71 @@
+// Main-memory tier of the simulated hierarchy.
+//
+// Tracks which items (structure copies, private tables, snapshot deltas) are resident in a
+// fixed-capacity main memory. A cache miss whose item is resident costs memory bandwidth;
+// a miss on a non-resident item faults the item in from disk (charging disk bytes once per
+// fault) and evicts LRU items. This reproduces the paper's Figure 13 split: datasets whose
+// working set fits in memory show no I/O, larger ones are dominated by it — and systems
+// that keep one shared structure copy (Seraph, CGraph) fault less than those with per-job
+// copies (CLIP, Nxgraph).
+
+#ifndef SRC_CACHE_MEMORY_TIER_H_
+#define SRC_CACHE_MEMORY_TIER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/cache/cache_sim.h"
+
+namespace cgraph {
+
+struct MemoryStats {
+  uint64_t mem_bytes = 0;    // Cache-miss bytes served from resident memory.
+  uint64_t disk_bytes = 0;   // Bytes faulted in from disk (the paper's "I/O overhead").
+  uint64_t faults = 0;       // Item faults.
+  uint64_t evictions = 0;    // Items evicted to make room.
+};
+
+class MemoryTier {
+ public:
+  explicit MemoryTier(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t occupancy() const { return occupancy_; }
+  const MemoryStats& stats() const { return stats_; }
+
+  // Serves `bytes` of a cache miss belonging to `item` (total item size `item_bytes`).
+  // Returns the number of those bytes that came from disk (0 when the item was resident).
+  uint64_t ServeMiss(const ItemKey& item, uint64_t item_bytes, uint64_t bytes);
+
+  // Pre-loads an item (e.g., the shared structure at start-up); charges disk bytes.
+  void Preload(const ItemKey& item, uint64_t item_bytes);
+
+  // Removes an item (e.g., a finished job's private table).
+  void Drop(const ItemKey& item);
+
+  // Drops every resident item without touching the counters (models restarting the
+  // system, e.g. between the jobs of a sequential-execution baseline).
+  void Clear();
+
+  bool IsResident(const ItemKey& item) const { return entries_.contains(PackItemKey(item)); }
+
+ private:
+  struct Entry {
+    std::list<uint64_t>::iterator lru_pos;
+    uint64_t bytes = 0;
+  };
+
+  void FaultIn(uint64_t key, uint64_t item_bytes);
+  void EvictUntilFits(uint64_t needed);
+
+  uint64_t capacity_;
+  uint64_t occupancy_ = 0;
+  MemoryStats stats_;
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CACHE_MEMORY_TIER_H_

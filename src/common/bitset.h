@@ -1,0 +1,114 @@
+// Runtime-sized bitset with fast population count, used for per-partition active-vertex
+// masks and partition activity tracking.
+
+#ifndef SRC_COMMON_BITSET_H_
+#define SRC_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace cgraph {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Resize(size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  bool Test(size_t i) const {
+    CGRAPH_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void Set(size_t i) {
+    CGRAPH_DCHECK(i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Clear(size_t i) {
+    CGRAPH_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  void ClearAll() {
+    for (auto& w : words_) {
+      w = 0;
+    }
+  }
+
+  void SetAll() {
+    for (auto& w : words_) {
+      w = ~uint64_t{0};
+    }
+    TrimTail();
+  }
+
+  // Number of set bits.
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) {
+      total += static_cast<size_t>(std::popcount(w));
+    }
+    return total;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // In-place union with another bitset of identical size.
+  void UnionWith(const DynamicBitset& other) {
+    CGRAPH_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  // Number of bits set in both this and other (sizes must match).
+  size_t IntersectCount(const DynamicBitset& other) const {
+    CGRAPH_CHECK_EQ(size_, other.size_);
+    size_t total = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      total += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    }
+    return total;
+  }
+
+ private:
+  // Zeroes the bits beyond size_ in the last word so Count() stays exact after SetAll().
+  void TrimTail() {
+    const size_t tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_COMMON_BITSET_H_

@@ -1,0 +1,45 @@
+// Fatal assertion macros.
+//
+// CHECK* macros are always on and abort with a message; DCHECK* compile away in NDEBUG
+// builds. These guard programmer errors (violated invariants); recoverable conditions use
+// cgraph::Status from status.h instead.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgraph::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cgraph::internal
+
+#define CGRAPH_CHECK(expr)                                         \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::cgraph::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                              \
+  } while (false)
+
+#define CGRAPH_CHECK_EQ(a, b) CGRAPH_CHECK((a) == (b))
+#define CGRAPH_CHECK_NE(a, b) CGRAPH_CHECK((a) != (b))
+#define CGRAPH_CHECK_LT(a, b) CGRAPH_CHECK((a) < (b))
+#define CGRAPH_CHECK_LE(a, b) CGRAPH_CHECK((a) <= (b))
+#define CGRAPH_CHECK_GT(a, b) CGRAPH_CHECK((a) > (b))
+#define CGRAPH_CHECK_GE(a, b) CGRAPH_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CGRAPH_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#else
+#define CGRAPH_DCHECK(expr) CGRAPH_CHECK(expr)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (graph generators, traces, shuffles) draw from these engines so
+// that a fixed seed reproduces every experiment bit-for-bit across platforms — std::mt19937
+// distributions are not guaranteed identical across standard libraries, so we implement the
+// distributions we need ourselves.
+
+#ifndef SRC_COMMON_PRNG_H_
+#define SRC_COMMON_PRNG_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace cgraph {
+
+// SplitMix64: tiny, high-quality 64-bit generator; also used to seed Xoshiro.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: the workhorse generator for bulk sampling.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    CGRAPH_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    while (true) {
+      const uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli draw with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_COMMON_PRNG_H_

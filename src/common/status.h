@@ -1,0 +1,101 @@
+// Lightweight error propagation without exceptions.
+//
+// Status carries an error code plus a human-readable message; Result<T> is Status-or-value.
+// Used at system boundaries (file parsing, configuration validation); internal invariant
+// violations use CGRAPH_CHECK.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace cgraph {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable lowercase name for a status code ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or a non-ok Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` or `return status;`.
+  Result(T value) : storage_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    CGRAPH_CHECK(!std::get<Status>(storage_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    CGRAPH_CHECK(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    CGRAPH_CHECK(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    CGRAPH_CHECK(ok());
+    return std::move(std::get<T>(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_COMMON_STATUS_H_

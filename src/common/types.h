@@ -1,0 +1,52 @@
+// Core scalar type aliases shared by every cgraph module.
+//
+// The library targets graphs with up to ~4 billion vertices; vertex and partition ids are
+// therefore 32-bit, while anything that can exceed 2^32 (edge counts, byte totals, cost
+// accumulators) is 64-bit.
+
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace cgraph {
+
+// Identifier of a vertex in the global (unpartitioned) graph.
+using VertexId = uint32_t;
+
+// Index of a vertex inside one partition's local tables.
+using LocalVertexId = uint32_t;
+
+// Identifier of a graph-structure partition in the global table.
+using PartitionId = uint32_t;
+
+// Identifier of a concurrent iterative graph-processing (CGP) job.
+using JobId = uint32_t;
+
+// Logical timestamp used to version graph snapshots (paper section 3.2.1).
+using Timestamp = uint64_t;
+
+// Edge weight. Single precision keeps structure partitions compact, mirroring how the paper
+// separates small per-edge metadata from (double-precision) per-job vertex state.
+using Weight = float;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr PartitionId kInvalidPartition = std::numeric_limits<PartitionId>::max();
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+// A directed, weighted edge in the global id space.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 1.0f;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+  }
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,47 @@
+// Configuration shared by the LTP engine and the baseline executors.
+
+#ifndef SRC_CORE_ENGINE_OPTIONS_H_
+#define SRC_CORE_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/cache/memory_hierarchy.h"
+#include "src/metrics/cost_model.h"
+
+namespace cgraph {
+
+struct EngineOptions {
+  // Worker threads ("cores"); one trigger task per worker (paper section 3.2.3).
+  uint32_t num_workers = 4;
+
+  // Simulated LLC / memory / disk parameters (identical across compared systems).
+  HierarchyOptions hierarchy;
+
+  // Modeled-time coefficients used by reports.
+  CostModel cost_model;
+
+  // Priority-based partition loading (Eq. 1). Disabled = fixed index order, i.e. the
+  // "CGraph-without" configuration of Fig. 8.
+  bool use_scheduler = true;
+
+  // Ablation: scales Eq. 1's theta (0 drops the D(P)*C(P) term entirely, leaving pure
+  // N(P) ordering; 1 is the paper's setting).
+  double theta_scale = 1.0;
+
+  // Straggler splitting: dynamic chunk stealing within a partition trigger (Fig. 6).
+  // Disabled = one task per (job, partition).
+  bool straggler_split = true;
+
+  // Vertices per work chunk when straggler splitting is on.
+  uint32_t chunk_grain = 256;
+
+  // Capacity of the global table's per-partition job set.
+  uint32_t max_jobs = 64;
+
+  // Safety valve against non-converging programs.
+  uint64_t max_iterations_per_job = 10000;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CORE_ENGINE_OPTIONS_H_

@@ -1,0 +1,70 @@
+// A concurrent iterative graph-processing (CGP) job: a vertex program bound to its
+// private state table, activity tracking, and synchronization buffer.
+
+#ifndef SRC_CORE_JOB_H_
+#define SRC_CORE_JOB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/types.h"
+#include "src/core/vertex_program.h"
+#include "src/metrics/run_report.h"
+#include "src/storage/private_table.h"
+
+namespace cgraph {
+
+// A buffered mirror->master (or master->mirror) state-synchronization record; the
+// elements of the paper's S_new queue (Algorithm 1 line 6 / Algorithm 2).
+struct SyncRecord {
+  PartitionId partition = 0;   // Destination partition.
+  LocalVertexId local = 0;     // Destination local vertex.
+  double delta = 0.0;
+};
+
+class Job {
+ public:
+  Job(JobId id, std::unique_ptr<VertexProgram> program, Timestamp submit_time)
+      : id_(id), program_(std::move(program)), submit_time_(submit_time) {}
+
+  JobId id() const { return id_; }
+  VertexProgram& program() { return *program_; }
+  const VertexProgram& program() const { return *program_; }
+  Timestamp submit_time() const { return submit_time_; }
+
+  PrivateTable& table() { return table_; }
+  const PrivateTable& table() const { return table_; }
+
+  bool finished() const { return finished_; }
+  uint64_t iteration() const { return iteration_; }
+
+  JobStats& stats() { return stats_; }
+  const JobStats& stats() const { return stats_; }
+
+ private:
+  friend class LtpEngine;
+  friend class BaselineExecutor;
+
+  JobId id_;
+  std::unique_ptr<VertexProgram> program_;
+  Timestamp submit_time_;
+
+  PrivateTable table_;
+  bool started_ = false;  // False until the engine admits the job (runtime arrival).
+  // Per-partition activity for the job's *current* iteration.
+  std::vector<DynamicBitset> active_;
+  std::vector<uint32_t> active_count_;
+  std::vector<bool> processed_;       // Partition handled in the current iteration?
+  std::vector<bool> dirty_;           // Private partition touched since last Push?
+  uint32_t remaining_ = 0;            // Active partitions still to process this iteration.
+  std::vector<SyncRecord> sync_buffer_;
+  uint64_t iteration_ = 0;
+  bool finished_ = false;
+  JobStats stats_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CORE_JOB_H_

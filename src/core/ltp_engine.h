@@ -1,0 +1,127 @@
+// The data-centric Load-Trigger-Pushing (LTP) execution engine — the paper's core
+// contribution (sections 3.1, 3.2, 3.4; Algorithms 1-3).
+//
+// Per scheduling step the engine:
+//   Load    — picks the highest-priority partition still needed by some job this
+//             iteration and charges one shared structure access (pinned) plus each
+//             triggered job's private-partition access to the simulated hierarchy;
+//   Trigger — processes the partition for *all* registered jobs concurrently (batched by
+//             worker count; job batches rotate private tables while the structure stays
+//             pinned; straggler splitting balances skewed jobs across free cores);
+//   Push    — when a job has handled all its active partitions, its buffered mirror
+//             deltas are merged into masters (sorted by destination partition), merged
+//             values broadcast back to mirrors (sorted again), the delta double-buffer is
+//             swapped, and the next iteration's partitions are registered in the global
+//             table (activation tracing).
+//
+// Jobs advance through their own iterations independently — BFS may touch three
+// partitions per iteration while PageRank sweeps all of them — yet all structure loads
+// are shared through the common loading order.
+//
+// When constructed over a SnapshotStore, each job binds to the newest snapshot not newer
+// than its submit time; jobs on different snapshots still share every unchanged partition
+// version (section 3.2.1, Figs. 16-19).
+
+#ifndef SRC_CORE_LTP_ENGINE_H_
+#define SRC_CORE_LTP_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/memory_hierarchy.h"
+#include "src/core/engine_options.h"
+#include "src/core/job.h"
+#include "src/core/scheduler.h"
+#include "src/core/vertex_program.h"
+#include "src/metrics/run_report.h"
+#include "src/partition/partitioned_graph.h"
+#include "src/runtime/thread_pool.h"
+#include "src/storage/global_table.h"
+#include "src/storage/snapshot_store.h"
+
+namespace cgraph {
+
+class LtpEngine {
+ public:
+  // Single-snapshot engine over a prepartitioned graph (not owned; must outlive this).
+  LtpEngine(const PartitionedGraph* graph, const EngineOptions& options);
+
+  // Snapshot-aware engine; jobs resolve partition versions by submit time.
+  LtpEngine(const SnapshotStore* snapshots, const EngineOptions& options);
+
+  LtpEngine(const LtpEngine&) = delete;
+  LtpEngine& operator=(const LtpEngine&) = delete;
+
+  // Registers a job. `submit_time` selects the snapshot (ignored without a store).
+  // Must be called before Run().
+  JobId AddJob(std::unique_ptr<VertexProgram> program, Timestamp submit_time = 0);
+
+  // Schedules a job to arrive while the engine runs, after `arrival_step` partition-
+  // scheduling steps (the paper's "allows to add new jobs into SJobs at runtime",
+  // section 3.4). The newcomer registers its first-iteration partitions and is triggered
+  // alongside the jobs already executing from then on. Deterministic and thread-free so
+  // arrival interleavings are reproducible in tests.
+  JobId ScheduleJob(std::unique_ptr<VertexProgram> program, uint64_t arrival_step,
+                    Timestamp submit_time = 0);
+
+  // Executes every job to convergence and returns the measured report.
+  RunReport Run();
+
+  size_t num_jobs() const { return jobs_.size(); }
+  const Job& job(JobId id) const { return *jobs_[id]; }
+  const MemoryHierarchy& hierarchy() const { return *hierarchy_; }
+  const EngineOptions& options() const { return options_; }
+
+  // Post-run readback: value/aux of every global vertex, taken from master replicas.
+  std::vector<double> FinalValues(JobId id) const;
+  std::vector<double> FinalAux(JobId id) const;
+
+ private:
+  struct ResolvedPartition {
+    const GraphPartition* data;
+    uint32_t version;
+  };
+
+  // The partition layout (vertex membership / replica routing), identical across
+  // snapshot versions.
+  const PartitionedGraph& layout() const;
+
+  ResolvedPartition Resolve(PartitionId p, const Job& job) const;
+
+  void InitJob(Job& job);
+  void ProcessPartition(PartitionId p);
+  void TriggerBatch(PartitionId p, const GraphPartition& part, const std::vector<Job*>& batch);
+  void CollectMirrorRecords(Job& job, PartitionId p, const GraphPartition& layout_part);
+  void PushJob(Job& job);
+  // Recomputes job's activity and next-iteration registration. `swap_buffers` applies the
+  // delta double-buffer swap (post-Push); `all_partitions` sweeps everything instead of
+  // only dirty partitions; `initial` uses InitiallyActive. Returns the active total.
+  uint64_t RefreshActivity(Job& job, bool all_partitions, bool swap_buffers, bool initial);
+  void FinishJob(Job& job);
+  double MeanChangeFraction(PartitionId p) const;
+
+  const PartitionedGraph* graph_ = nullptr;
+  const SnapshotStore* snapshots_ = nullptr;
+  EngineOptions options_;
+
+  std::unique_ptr<MemoryHierarchy> hierarchy_;
+  std::unique_ptr<GlobalTable> global_table_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  struct PendingArrival {
+    JobId job;
+    uint64_t arrival_step;
+  };
+  std::vector<PendingArrival> pending_;  // Sorted by arrival_step at Run() start.
+  uint64_t step_ = 0;                    // Partition-scheduling steps executed.
+  // change_fraction_[job][partition]: fraction of vertices whose state changed at the
+  // job's previous iteration; feeds C(P).
+  std::vector<std::vector<double>> change_fraction_;
+  double run_elapsed_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CORE_LTP_ENGINE_H_

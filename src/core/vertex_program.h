@@ -1,0 +1,115 @@
+// The user-facing programming model (paper section 3.4, Fig. 7).
+//
+// A job instantiates three functions — IsNotConvergent() (here IsActive), Acc(), and
+// Compute() — over the decoupled state S while the engine owns the shared structure G.
+// Compute() updates the vertex's value from its accumulated delta and scatters
+// contributions to neighbors *within the loaded partition only*; replicas on other
+// partitions receive them at the Push stage. Multi-phase algorithms (SCC) additionally
+// drive the engine through phase transitions via OnIterationEnd()/ReinitVertex().
+//
+// Program objects are per-job and may hold phase state; the engine invokes Compute()
+// concurrently from many workers but calls the phase hooks only at single-threaded
+// synchronization points.
+
+#ifndef SRC_CORE_VERTEX_PROGRAM_H_
+#define SRC_CORE_VERTEX_PROGRAM_H_
+
+#include <atomic>
+#include <span>
+#include <string_view>
+
+#include "src/common/types.h"
+#include "src/partition/partitioned_graph.h"
+#include "src/storage/private_table.h"
+#include "src/storage/vertex_state.h"
+
+namespace cgraph {
+
+// Scatter sink handed to Compute(): accumulates contributions into the *local* targets'
+// delta_next slots with the job's Acc, and counts edge traversals for the cost model.
+class ScatterOps {
+ public:
+  ScatterOps(AccKind kind, std::span<VertexState> states)
+      : kind_(kind), states_(states) {}
+
+  // Acc-accumulates `contribution` into the target's next-iteration delta. Thread-safe
+  // against concurrent scatters from other workers processing the same partition.
+  void Accumulate(LocalVertexId target, double contribution) {
+    AtomicAccumulate(kind_, &states_[target].delta_next, contribution);
+    ++edge_traversals_;
+  }
+
+  // Read-only view of a target's state, e.g. for SCC's same-color filter. value/aux are
+  // stable during an iteration (only delta_next is concurrently written).
+  const VertexState& Peek(LocalVertexId target) const { return states_[target]; }
+
+  uint64_t edge_traversals() const { return edge_traversals_; }
+
+ private:
+  AccKind kind_;
+  std::span<VertexState> states_;
+  uint64_t edge_traversals_ = 0;
+};
+
+class VertexProgram {
+ public:
+  // What the engine should do after a job's iteration completed (post-Push).
+  enum class IterationAction {
+    kContinue,  // Keep iterating; the engine finishes the job when nothing is active.
+    kNewPhase,  // Re-initialize every vertex state via ReinitVertex() and continue.
+    kFinished,  // The job is done regardless of remaining activity.
+  };
+
+  // Passed to OnIterationEnd so multi-phase programs can inspect global progress.
+  struct IterationContext {
+    bool any_active = false;
+    uint64_t iteration = 0;
+    const PrivateTable* table = nullptr;          // Full state (read access).
+    const PartitionedGraph* layout = nullptr;     // Partition layout (vertex membership).
+  };
+
+  virtual ~VertexProgram() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // The accumulator joining neighbor contributions (paper's Acc()).
+  virtual AccKind acc_kind() const = 0;
+
+  // Initial state of a vertex (delta doubles as the activation bootstrap).
+  virtual VertexState InitialState(const LocalVertexInfo& info) const = 0;
+
+  // The paper's IsNotConvergent(): whether the vertex must be processed next iteration,
+  // given its post-synchronization state.
+  virtual bool IsActive(const VertexState& state) const = 0;
+
+  // Forces a vertex active in iteration 0 even when IsActive(initial state) is false
+  // (used by algorithms whose first sweep is unconditional, e.g. k-core).
+  virtual bool InitiallyActive(const LocalVertexInfo& info, const VertexState& state) const {
+    (void)info;
+    return IsActive(state);
+  }
+
+  // Processes one active vertex of the loaded partition: consume state.delta into
+  // state.value and scatter contributions through `ops` (paper Fig. 7).
+  virtual void Compute(const GraphPartition& partition, LocalVertexId v,
+                       std::span<VertexState> states, ScatterOps& ops) = 0;
+
+  // Called at the job's iteration boundary, after synchronization. Default: plain
+  // fixpoint semantics (run while anything is active).
+  virtual IterationAction OnIterationEnd(const IterationContext& context) {
+    (void)context;
+    return IterationAction::kContinue;
+  }
+
+  // Applied to every vertex state when OnIterationEnd returned kNewPhase. Implementations
+  // must leave value/delta/delta_next coherent for the new phase — in particular,
+  // delta_next must be reset to the Acc identity.
+  virtual void ReinitVertex(const LocalVertexInfo& info, VertexState& state) const {
+    (void)info;
+    (void)state;
+  }
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CORE_VERTEX_PROGRAM_H_

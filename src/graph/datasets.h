@@ -1,0 +1,45 @@
+// Scaled synthetic stand-ins for the paper's five datasets (Table 1).
+//
+// The originals (Twitter, Friendster, uk2007, uk-union, hyperlink14) are 17–480 GB web
+// downloads that are unavailable offline, so each is replaced by an R-MAT graph whose
+// *shape* — relative size ordering, average degree, degree skew — matches the original.
+// Simulated cache/memory capacities elsewhere are scaled with these sizes, preserving the
+// in-memory vs out-of-core split of the paper's Figure 13 (the first three fit in simulated
+// memory; uk-union and hyperlink14 do not).
+
+#ifndef SRC_GRAPH_DATASETS_H_
+#define SRC_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+
+namespace cgraph {
+
+struct DatasetSpec {
+  std::string name;          // e.g. "twitter-sim"
+  std::string paper_name;    // e.g. "Twitter"
+  uint32_t rmat_scale;       // 2^scale vertices
+  uint32_t edge_factor;      // edges per vertex
+  uint64_t seed;
+  // Paper-reported properties of the original, for Table 1 side-by-side output.
+  double paper_vertices_m;   // millions
+  double paper_edges_b;      // billions
+  double paper_size_gb;
+};
+
+// The five stand-ins, ordered as in Table 1. `scale_shift` uniformly shrinks (negative) or
+// grows every dataset, letting benches trade fidelity for runtime.
+std::vector<DatasetSpec> PaperDatasets(int scale_shift = 0);
+
+// Generates the graph for a spec (deterministic in the spec's seed).
+EdgeList GenerateDataset(const DatasetSpec& spec);
+
+// Approximate in-memory bytes of the structure data for an edge list (CSR-like: one
+// 12-byte record per edge plus 8 bytes per vertex), used to size simulated tiers.
+uint64_t EstimateStructureBytes(const EdgeList& edges);
+
+}  // namespace cgraph
+
+#endif  // SRC_GRAPH_DATASETS_H_

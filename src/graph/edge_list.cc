@@ -1,0 +1,45 @@
+#include "src/graph/edge_list.h"
+
+#include <algorithm>
+
+namespace cgraph {
+
+void EdgeList::Add(VertexId src, VertexId dst, Weight weight) {
+  edges_.push_back(Edge{src, dst, weight});
+  const VertexId needed = std::max(src, dst) + 1;
+  if (needed > num_vertices_) {
+    num_vertices_ = needed;
+  }
+}
+
+void EdgeList::SortAndDedup() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    return a.dst < b.dst;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+}
+
+void EdgeList::RemoveSelfLoops() {
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges_.end());
+}
+
+void EdgeList::FitNumVertices() {
+  VertexId max_id = 0;
+  bool any = false;
+  for (const Edge& e : edges_) {
+    max_id = std::max({max_id, e.src, e.dst});
+    any = true;
+  }
+  num_vertices_ = any ? max_id + 1 : 0;
+}
+
+}  // namespace cgraph

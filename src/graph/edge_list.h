@@ -1,0 +1,48 @@
+// Edge-list container: the interchange format between generators, loaders and the
+// partitioner.
+
+#ifndef SRC_GRAPH_EDGE_LIST_H_
+#define SRC_GRAPH_EDGE_LIST_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cgraph {
+
+// A bag of directed edges plus the vertex-id universe size. `num_vertices` is always
+// greater than every endpoint id (isolated trailing vertices are representable).
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& mutable_edges() { return edges_; }
+
+  void set_num_vertices(VertexId n) { num_vertices_ = n; }
+
+  // Appends an edge, growing the vertex universe if needed.
+  void Add(VertexId src, VertexId dst, Weight weight = 1.0f);
+
+  // Sorts edges by (src, dst) and removes exact (src, dst) duplicates, keeping the first
+  // weight encountered. Self-loops are retained (algorithms ignore or use them).
+  void SortAndDedup();
+
+  // Removes self-loop edges.
+  void RemoveSelfLoops();
+
+  // Recomputes num_vertices as 1 + max endpoint (0 when empty).
+  void FitNumVertices();
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,54 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+
+namespace cgraph {
+
+Graph Graph::FromEdges(const EdgeList& edges) {
+  Graph g;
+  g.num_vertices_ = edges.num_vertices();
+  const size_t m = edges.num_edges();
+  g.out_offsets_.assign(g.num_vertices_ + 1, 0);
+  g.in_offsets_.assign(g.num_vertices_ + 1, 0);
+  for (const Edge& e : edges.edges()) {
+    ++g.out_offsets_[e.src + 1];
+    ++g.in_offsets_[e.dst + 1];
+  }
+  for (VertexId v = 0; v < g.num_vertices_; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.out_targets_.resize(m);
+  g.out_weights_.resize(m);
+  g.in_targets_.resize(m);
+  g.in_weights_.resize(m);
+  std::vector<uint64_t> out_cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    const uint64_t oi = out_cursor[e.src]++;
+    g.out_targets_[oi] = e.dst;
+    g.out_weights_[oi] = e.weight;
+    const uint64_t ii = in_cursor[e.dst]++;
+    g.in_targets_[ii] = e.src;
+    g.in_weights_[ii] = e.weight;
+  }
+  return g;
+}
+
+uint32_t Graph::max_out_degree() const {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, out_degree(v));
+  }
+  return best;
+}
+
+uint32_t Graph::max_total_degree() const {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,63 @@
+// Compressed sparse row (CSR) view of a whole graph.
+//
+// The LTP engine works on PartitionedGraph (src/partition), but whole-graph CSR is needed
+// by the reference algorithm implementations, the core-subgraph partitioner (degree
+// inspection), and the dataset statistics of Table 1.
+
+#ifndef SRC_GRAPH_GRAPH_H_
+#define SRC_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/graph/edge_list.h"
+
+namespace cgraph {
+
+class Graph {
+ public:
+  // Builds out- and in-CSR from an edge list (edges are not required to be sorted).
+  static Graph FromEdges(const EdgeList& edges);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  uint64_t num_edges() const { return static_cast<uint64_t>(out_targets_.size()); }
+
+  uint32_t out_degree(VertexId v) const { return out_offsets_[v + 1] - out_offsets_[v]; }
+  uint32_t in_degree(VertexId v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+  uint32_t degree(VertexId v) const { return out_degree(v) + in_degree(v); }
+
+  std::span<const VertexId> out_neighbors(VertexId v) const {
+    return {out_targets_.data() + out_offsets_[v], out_degree(v)};
+  }
+  std::span<const Weight> out_weights(VertexId v) const {
+    return {out_weights_.data() + out_offsets_[v], out_degree(v)};
+  }
+  std::span<const VertexId> in_neighbors(VertexId v) const {
+    return {in_targets_.data() + in_offsets_[v], in_degree(v)};
+  }
+  std::span<const Weight> in_weights(VertexId v) const {
+    return {in_weights_.data() + in_offsets_[v], in_degree(v)};
+  }
+
+  double average_degree() const {
+    return num_vertices_ == 0 ? 0.0
+                              : static_cast<double>(num_edges()) / static_cast<double>(num_vertices_);
+  }
+
+  uint32_t max_out_degree() const;
+  uint32_t max_total_degree() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<uint64_t> out_offsets_;  // size num_vertices_ + 1
+  std::vector<VertexId> out_targets_;
+  std::vector<Weight> out_weights_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<VertexId> in_targets_;
+  std::vector<Weight> in_weights_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_GRAPH_GRAPH_H_

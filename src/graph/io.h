@@ -1,0 +1,29 @@
+// Edge-list file formats.
+//
+// Text format: one `src dst [weight]` triple per line, `#`-prefixed comment lines, blank
+// lines ignored. Binary format: little-endian header {magic, num_vertices, num_edges}
+// followed by packed Edge records — the format our dataset cache uses to avoid re-parsing.
+
+#ifndef SRC_GRAPH_IO_H_
+#define SRC_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/edge_list.h"
+
+namespace cgraph {
+
+// Parses the text format described above. Fails with line-numbered diagnostics.
+Result<EdgeList> LoadEdgeListText(const std::string& path);
+
+// Writes the text format (weights included when any differs from 1).
+Status SaveEdgeListText(const EdgeList& edges, const std::string& path);
+
+// Binary round-trip.
+Result<EdgeList> LoadEdgeListBinary(const std::string& path);
+Status SaveEdgeListBinary(const EdgeList& edges, const std::string& path);
+
+}  // namespace cgraph
+
+#endif  // SRC_GRAPH_IO_H_

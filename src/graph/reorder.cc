@@ -1,0 +1,103 @@
+#include "src/graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace cgraph {
+namespace {
+
+ReorderResult ApplyPermutation(const EdgeList& edges, std::vector<VertexId> old_id) {
+  const VertexId n = edges.num_vertices();
+  CGRAPH_CHECK_EQ(old_id.size(), n);
+  ReorderResult result;
+  result.old_id = std::move(old_id);
+  result.new_id.assign(n, 0);
+  for (VertexId new_v = 0; new_v < n; ++new_v) {
+    result.new_id[result.old_id[new_v]] = new_v;
+  }
+  std::vector<Edge> relabeled;
+  relabeled.reserve(edges.num_edges());
+  for (const Edge& e : edges.edges()) {
+    relabeled.push_back(Edge{result.new_id[e.src], result.new_id[e.dst], e.weight});
+  }
+  result.edges = EdgeList(n, std::move(relabeled));
+  return result;
+}
+
+std::vector<uint32_t> TotalDegrees(const EdgeList& edges) {
+  std::vector<uint32_t> degree(edges.num_vertices(), 0);
+  for (const Edge& e : edges.edges()) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  return degree;
+}
+
+}  // namespace
+
+ReorderResult ReorderByDegree(const EdgeList& edges) {
+  const VertexId n = edges.num_vertices();
+  const std::vector<uint32_t> degree = TotalDegrees(edges);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&degree](VertexId a, VertexId b) {
+    return degree[a] > degree[b];
+  });
+  return ApplyPermutation(edges, std::move(order));
+}
+
+ReorderResult ReorderByBfs(const EdgeList& edges) {
+  const VertexId n = edges.num_vertices();
+  // Adjacency (out-direction) for the traversal.
+  std::vector<uint32_t> out_degree(n, 0);
+  for (const Edge& e : edges.edges()) {
+    ++out_degree[e.src];
+  }
+  std::vector<uint64_t> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + out_degree[v];
+  }
+  std::vector<VertexId> targets(edges.num_edges());
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    targets[cursor[e.src]++] = e.dst;
+  }
+
+  VertexId root = 0;
+  for (VertexId v = 1; v < n; ++v) {
+    if (out_degree[v] > out_degree[root]) {
+      root = v;
+    }
+  }
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  if (n > 0) {
+    std::queue<VertexId> frontier;
+    frontier.push(root);
+    visited[root] = true;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+        if (!visited[targets[i]]) {
+          visited[targets[i]] = true;
+          frontier.push(targets[i]);
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (!visited[v]) {
+        order.push_back(v);
+      }
+    }
+  }
+  return ApplyPermutation(edges, std::move(order));
+}
+
+}  // namespace cgraph

@@ -1,0 +1,34 @@
+// Vertex-id reordering (relabeling) utilities.
+//
+// Partitioning by sorted source id makes vertex locality a function of the id layout, so
+// relabeling is the standard preprocessing lever for cache behaviour: degree ordering
+// clusters hubs into the same (core) partitions, BFS ordering keeps topologically close
+// vertices in the same chunk. Both return a relabeled copy plus the permutation used, so
+// results can be mapped back.
+
+#ifndef SRC_GRAPH_REORDER_H_
+#define SRC_GRAPH_REORDER_H_
+
+#include <vector>
+
+#include "src/graph/edge_list.h"
+
+namespace cgraph {
+
+struct ReorderResult {
+  EdgeList edges;                    // Relabeled copy.
+  std::vector<VertexId> new_id;      // old id -> new id.
+  std::vector<VertexId> old_id;      // new id -> old id.
+};
+
+// Relabels so that vertices are numbered by descending total degree (hubs first, which
+// the core-subgraph partitioner then groups into the leading partitions).
+ReorderResult ReorderByDegree(const EdgeList& edges);
+
+// Relabels in BFS discovery order from the highest-out-degree vertex (unreached vertices
+// keep their relative order after all reached ones).
+ReorderResult ReorderByBfs(const EdgeList& edges);
+
+}  // namespace cgraph
+
+#endif  // SRC_GRAPH_REORDER_H_

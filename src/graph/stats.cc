@@ -1,0 +1,47 @@
+#include "src/graph/stats.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cgraph {
+
+DegreeStats ComputeDegreeStats(const Graph& graph, double hub_fraction) {
+  DegreeStats stats;
+  stats.hub_fraction = hub_fraction;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) {
+    return stats;
+  }
+  stats.average_out_degree = graph.average_degree();
+  stats.max_out_degree = graph.max_out_degree();
+  stats.max_total_degree = graph.max_total_degree();
+
+  std::vector<uint32_t> degrees(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = graph.out_degree(v);
+  }
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const size_t hubs = std::max<size_t>(1, static_cast<size_t>(hub_fraction * n));
+  uint64_t hub_edges = 0;
+  for (size_t i = 0; i < hubs; ++i) {
+    hub_edges += degrees[i];
+  }
+  const uint64_t m = graph.num_edges();
+  stats.edges_on_top_percent_hubs = m == 0 ? 0.0 : static_cast<double>(hub_edges) / static_cast<double>(m);
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogramLog2(const Graph& graph) {
+  std::vector<uint64_t> hist(33, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const uint32_t d = graph.out_degree(v);
+    const unsigned bucket = d <= 1 ? 0 : static_cast<unsigned>(std::bit_width(d) - 1);
+    ++hist[bucket];
+  }
+  while (hist.size() > 1 && hist.back() == 0) {
+    hist.pop_back();
+  }
+  return hist;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,31 @@
+// Degree statistics for Table 1 and for the core-subgraph threshold selection.
+
+#ifndef SRC_GRAPH_STATS_H_
+#define SRC_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace cgraph {
+
+struct DegreeStats {
+  double average_out_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_total_degree = 0;
+  // Fraction of edges incident (as source) to the top `hub_fraction` of vertices by
+  // out-degree — a skew measure; power-law graphs concentrate most edges on few hubs.
+  double edges_on_top_percent_hubs = 0.0;
+  double hub_fraction = 0.01;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& graph, double hub_fraction = 0.01);
+
+// Out-degree histogram with log2 buckets: bucket[i] counts vertices with out-degree in
+// [2^i, 2^(i+1)). bucket[0] also counts degree-0 and degree-1 vertices.
+std::vector<uint64_t> DegreeHistogramLog2(const Graph& graph);
+
+}  // namespace cgraph
+
+#endif  // SRC_GRAPH_STATS_H_

@@ -1,0 +1,25 @@
+// CSV serialization of run reports, for piping bench output into plotting scripts.
+
+#ifndef SRC_METRICS_CSV_WRITER_H_
+#define SRC_METRICS_CSV_WRITER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/metrics/run_report.h"
+
+namespace cgraph {
+
+// One row per job plus a "total" row. Columns:
+//   executor,job,iterations,vertex_computes,edge_traversals,push_updates,compute_units,
+//   hit_bytes,mem_bytes,disk_bytes,modeled_compute,modeled_access,modeled_time,
+//   wall_seconds
+std::string RunReportToCsv(const RunReport& report, const CostModel& model);
+
+// Writes the CSV (with header) to `path`.
+Status WriteRunReportCsv(const RunReport& report, const CostModel& model,
+                         const std::string& path);
+
+}  // namespace cgraph
+
+#endif  // SRC_METRICS_CSV_WRITER_H_

@@ -1,0 +1,55 @@
+#include "src/metrics/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cgraph {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto append_row = [&](std::string& out, const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += "| ";
+      out += cell;
+      out.append(widths[c] - cell.size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string out;
+  append_row(out, headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out += "|";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& row : rows_) {
+    append_row(out, row);
+  }
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace cgraph

@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printing for the benchmark harnesses, which regenerate the
+// paper's tables and figure series as rows on stdout.
+
+#ifndef SRC_METRICS_TABLE_PRINTER_H_
+#define SRC_METRICS_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace cgraph {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells print empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  // Convenience: renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_METRICS_TABLE_PRINTER_H_

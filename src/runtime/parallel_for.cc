@@ -1,0 +1,34 @@
+#include "src/runtime/parallel_for.h"
+
+#include <algorithm>
+
+namespace cgraph {
+
+void ParallelFor(ThreadPool& pool, size_t n, const ParallelForOptions& options,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (!options.dynamic || pool.num_workers() == 1 || n <= options.grain) {
+    body(0, n);
+    return;
+  }
+
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  const size_t grain = std::max<size_t>(1, options.grain);
+  auto drain = [cursor, grain, n, &body] {
+    while (true) {
+      const size_t begin = cursor->fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) {
+        return;
+      }
+      body(begin, std::min(begin + grain, n));
+    }
+  };
+
+  // One drain task per worker; each keeps claiming chunks until the range is exhausted.
+  std::vector<std::function<void()>> tasks(pool.num_workers(), drain);
+  pool.RunAndWait(std::move(tasks));
+}
+
+}  // namespace cgraph

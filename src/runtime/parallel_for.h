@@ -1,0 +1,43 @@
+// Dynamic-chunk parallel loops.
+//
+// ParallelFor splits [0, n) into chunks claimed from a shared atomic counter. Because idle
+// workers keep claiming chunks until the range is exhausted, a worker stuck on a heavy
+// chunk never blocks the others — this is exactly the paper's straggler mitigation
+// (section 3.2.3): the private partition of the job with the most unprocessed vertices is
+// logically divided into pieces consumed by free cores.
+
+#ifndef SRC_RUNTIME_PARALLEL_FOR_H_
+#define SRC_RUNTIME_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/runtime/thread_pool.h"
+
+namespace cgraph {
+
+struct ParallelForOptions {
+  // Elements claimed per grab. Smaller grains balance better, larger grains amortize the
+  // atomic increment.
+  size_t grain = 1024;
+  // When false the loop runs inline on the calling thread (used to ablate straggler
+  // splitting: each task processes its whole range on one worker).
+  bool dynamic = true;
+};
+
+// Invokes body(begin, end) over disjoint subranges covering [0, n) using the pool.
+void ParallelFor(ThreadPool& pool, size_t n, const ParallelForOptions& options,
+                 const std::function<void(size_t, size_t)>& body);
+
+// Convenience overload with default options.
+inline void ParallelFor(ThreadPool& pool, size_t n,
+                        const std::function<void(size_t, size_t)>& body) {
+  ParallelFor(pool, n, ParallelForOptions{}, body);
+}
+
+}  // namespace cgraph
+
+#endif  // SRC_RUNTIME_PARALLEL_FOR_H_

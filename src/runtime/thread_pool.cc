@@ -1,0 +1,91 @@
+#include "src/runtime/thread_pool.h"
+
+#include <utility>
+
+namespace cgraph {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  if (num_workers == 0) {
+    num_workers = 1;
+  }
+  threads_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (auto& t : tasks) {
+      queue_.push_back(std::move(t));
+    }
+  }
+  work_available_.notify_all();
+
+  // The caller helps drain the queue, then waits for stragglers.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (!queue_.empty()) {
+      auto task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      lock.unlock();
+      task();
+      lock.lock();
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        batch_done_.notify_all();
+      }
+      continue;
+    }
+    if (in_flight_ == 0) {
+      return;
+    }
+    batch_done_.wait(lock, [this] { return (queue_.empty() && in_flight_ == 0) || !queue_.empty(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+    if (shutting_down_ && queue_.empty()) {
+      return;
+    }
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) {
+      batch_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace cgraph

@@ -1,0 +1,55 @@
+// Fixed-size worker pool with a shared task queue.
+//
+// One pool is created per executor run with `num_workers` threads (the paper's "workers",
+// one per core). Tasks are type-erased closures; RunAndWait() submits a batch and blocks
+// until all complete, which is the building block for the trigger stage of the LTP model.
+
+#ifndef SRC_RUNTIME_THREAD_POOL_H_
+#define SRC_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgraph {
+
+class ThreadPool {
+ public:
+  // Spawns `num_workers` threads. num_workers == 0 is clamped to 1.
+  explicit ThreadPool(size_t num_workers);
+
+  // Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return threads_.size(); }
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Runs all `tasks` on the pool and blocks until every one has finished. The calling
+  // thread also participates by draining the batch, so a 1-worker pool still makes
+  // progress even when called from the single worker context.
+  void RunAndWait(std::vector<std::function<void()>> tasks);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // Tasks popped but not yet finished.
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_RUNTIME_THREAD_POOL_H_

@@ -1,0 +1,89 @@
+#include "src/storage/snapshot_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/prng.h"
+
+namespace cgraph {
+
+SnapshotStore::SnapshotStore(PartitionedGraph base)
+    : base_(std::move(base)), versions_(base_.num_partitions()) {}
+
+uint32_t SnapshotStore::CreateSnapshot(Timestamp timestamp, double change_ratio,
+                                       uint64_t seed) {
+  CGRAPH_CHECK(timestamp > latest_timestamp_);
+  CGRAPH_CHECK(change_ratio >= 0.0 && change_ratio <= 1.0);
+  latest_timestamp_ = timestamp;
+  const uint64_t total_rewires = static_cast<uint64_t>(
+      std::llround(change_ratio * static_cast<double>(base_.num_edges())));
+  if (total_rewires == 0) {
+    return 0;
+  }
+
+  // Cluster the rewires into a ratio-scaled subset of the non-empty partitions.
+  std::vector<PartitionId> candidates;
+  for (PartitionId p = 0; p < base_.num_partitions(); ++p) {
+    if (base_.partition(p).num_local_edges() > 0) {
+      candidates.push_back(p);
+    }
+  }
+  if (candidates.empty()) {
+    return 0;
+  }
+  Xoshiro256 rng(seed);
+  for (size_t i = candidates.size(); i > 1; --i) {
+    std::swap(candidates[i - 1], candidates[rng.NextBounded(i)]);
+  }
+  const size_t affected = std::min<size_t>(
+      candidates.size(),
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(
+                              4.0 * change_ratio * static_cast<double>(candidates.size())))));
+  candidates.resize(affected);
+
+  const uint64_t per_partition =
+      std::max<uint64_t>(1, total_rewires / static_cast<uint64_t>(affected));
+  uint32_t changed = 0;
+  for (const PartitionId p : candidates) {
+    const GraphPartition& current = Resolve(p, timestamp);  // Newest existing version.
+    Version v;
+    v.timestamp = timestamp;
+    v.data = std::make_unique<GraphPartition>(current.RewireClone(
+        per_partition, seed ^ (static_cast<uint64_t>(p) * 0x9e3779b97f4a7c15ULL)));
+    versions_[p].push_back(std::move(v));
+    ++changed;
+  }
+  return changed;
+}
+
+const GraphPartition& SnapshotStore::Resolve(PartitionId p, Timestamp job_time) const {
+  const auto& chain = versions_[p];
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->timestamp <= job_time) {
+      return *it->data;
+    }
+  }
+  return base_.partition(p);
+}
+
+uint32_t SnapshotStore::ResolveVersionIndex(PartitionId p, Timestamp job_time) const {
+  const auto& chain = versions_[p];
+  for (size_t i = chain.size(); i > 0; --i) {
+    if (chain[i - 1].timestamp <= job_time) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  return 0;
+}
+
+uint64_t SnapshotStore::delta_bytes() const {
+  uint64_t total = 0;
+  for (const auto& chain : versions_) {
+    for (const auto& v : chain) {
+      total += v.data->structure_bytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,100 @@
+#include "src/trace/job_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/prng.h"
+
+namespace cgraph {
+namespace {
+
+struct TraceJob {
+  double arrival = 0.0;
+  double departure = 0.0;
+  std::vector<uint32_t> footprint;  // Partition ids the job iterates over.
+};
+
+}  // namespace
+
+TraceSummary GenerateJobTrace(const TraceOptions& options) {
+  CGRAPH_CHECK(options.num_partitions > 0);
+  Xoshiro256 rng(options.seed);
+
+  // Non-homogeneous Poisson arrivals by thinning against the diurnal peak rate.
+  const double max_rate = options.base_arrivals_per_hour * (1.0 + options.peak_multiplier);
+  std::vector<TraceJob> jobs;
+  double t = 0.0;
+  while (t < options.hours) {
+    t += -std::log(1.0 - rng.NextDouble()) / max_rate;
+    const double diurnal = std::sin(3.14159265358979 * std::fmod(t, 24.0) / 24.0);
+    const double rate = options.base_arrivals_per_hour * (1.0 + options.peak_multiplier * diurnal * diurnal);
+    if (rng.NextDouble() * max_rate > rate) {
+      continue;  // Thinned.
+    }
+    TraceJob job;
+    job.arrival = t;
+    job.departure = t - options.mean_duration_hours * std::log(1.0 - rng.NextDouble());
+    // Footprint mixture: 50% full-sweep jobs (PageRank/SCC-like), 30% medium, 20% small
+    // frontier traversals (BFS-like).
+    const double mix = rng.NextDouble();
+    const double fraction = mix < 0.5 ? 1.0 : (mix < 0.8 ? 0.4 : 0.1);
+    const uint32_t count = std::max<uint32_t>(
+        1, static_cast<uint32_t>(fraction * options.num_partitions));
+    std::vector<uint32_t> all(options.num_partitions);
+    for (uint32_t p = 0; p < options.num_partitions; ++p) {
+      all[p] = p;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint64_t j = i + rng.NextBounded(options.num_partitions - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(count);
+    job.footprint = std::move(all);
+    jobs.push_back(std::move(job));
+  }
+
+  TraceSummary summary;
+  double job_sum = 0.0;
+  double share_sum = 0.0;
+  for (uint32_t hour = 0; hour < options.hours; ++hour) {
+    TracePoint point;
+    point.hour = hour;
+    std::vector<uint32_t> users(options.num_partitions, 0);
+    for (const TraceJob& job : jobs) {
+      if (job.arrival <= hour && hour < job.departure) {
+        ++point.concurrent_jobs;
+        for (uint32_t p : job.footprint) {
+          ++users[p];
+        }
+      }
+    }
+    uint32_t in_use = 0;
+    std::array<uint32_t, kShareThresholds.size()> above = {};
+    for (uint32_t p = 0; p < options.num_partitions; ++p) {
+      if (users[p] == 0) {
+        continue;
+      }
+      ++in_use;
+      for (size_t i = 0; i < kShareThresholds.size(); ++i) {
+        if (users[p] > kShareThresholds[i]) {
+          ++above[i];
+        }
+      }
+    }
+    for (size_t i = 0; i < kShareThresholds.size(); ++i) {
+      point.shared_ratio[i] = in_use == 0 ? 0.0 : static_cast<double>(above[i]) / in_use;
+    }
+    summary.peak_concurrent_jobs = std::max(summary.peak_concurrent_jobs, point.concurrent_jobs);
+    job_sum += point.concurrent_jobs;
+    share_sum += point.shared_ratio[0];
+    summary.points.push_back(point);
+  }
+  if (!summary.points.empty()) {
+    summary.mean_concurrent_jobs = job_sum / summary.points.size();
+    summary.mean_shared_by_more_than_one = share_sum / summary.points.size();
+  }
+  return summary;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,52 @@
+// Synthetic CGP-job arrival trace (regenerates paper Fig. 1).
+//
+// The paper motivates CGraph with a week-long trace from a production social-network
+// platform: (a) how many concurrent iterative jobs run at once (peaking above 20), and
+// (b) what fraction of the graph's partitions is being used by more than k jobs at a
+// time. That trace is proprietary, so this generator produces a qualitatively matched
+// stand-in: diurnal Poisson arrivals, exponential job durations, and per-job partition
+// footprints mixing full-graph jobs (PageRank-like) with small-footprint traversals
+// (BFS-like).
+
+#ifndef SRC_TRACE_JOB_TRACE_H_
+#define SRC_TRACE_JOB_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cgraph {
+
+struct TraceOptions {
+  uint32_t hours = 168;            // One week, as in Fig. 1.
+  double base_arrivals_per_hour = 1.5;
+  double peak_multiplier = 4.0;    // Diurnal swing.
+  double mean_duration_hours = 3.0;
+  uint32_t num_partitions = 128;
+  uint64_t seed = 7;
+};
+
+// Thresholds of Fig. 1(b): ratio of partitions shared by more than k jobs.
+inline constexpr std::array<uint32_t, 5> kShareThresholds = {1, 2, 4, 8, 16};
+
+struct TracePoint {
+  double hour = 0.0;
+  uint32_t concurrent_jobs = 0;
+  // shared_ratio[i]: fraction of *in-use* partitions used by more than kShareThresholds[i]
+  // jobs at this time.
+  std::array<double, kShareThresholds.size()> shared_ratio = {};
+};
+
+struct TraceSummary {
+  std::vector<TracePoint> points;  // Hourly samples.
+  uint32_t peak_concurrent_jobs = 0;
+  double mean_concurrent_jobs = 0.0;
+  // Time-average of shared_ratio[0] (partitions used by >1 job): the paper reports >75%.
+  double mean_shared_by_more_than_one = 0.0;
+};
+
+TraceSummary GenerateJobTrace(const TraceOptions& options);
+
+}  // namespace cgraph
+
+#endif  // SRC_TRACE_JOB_TRACE_H_

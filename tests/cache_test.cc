@@ -1,0 +1,230 @@
+// Unit tests for the simulated cache / memory / disk hierarchy.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/cache_sim.h"
+#include "src/cache/memory_hierarchy.h"
+#include "src/cache/memory_tier.h"
+
+namespace cgraph {
+namespace {
+
+ItemKey Structure(PartitionId p, uint32_t owner = kSharedOwner, uint32_t version = 0) {
+  return ItemKey{DataKind::kStructure, owner, p, version};
+}
+
+ItemKey Private(JobId job, PartitionId p) { return ItemKey{DataKind::kPrivate, job, p, 0}; }
+
+TEST(PackKeyTest, DistinctKeysDistinctPacks) {
+  EXPECT_NE(PackItemKey(Structure(0)), PackItemKey(Structure(1)));
+  EXPECT_NE(PackItemKey(Structure(0)), PackItemKey(Private(0, 0)));
+  EXPECT_NE(PackItemKey(Structure(0, 1)), PackItemKey(Structure(0, 2)));
+  EXPECT_NE(PackItemKey(Structure(0, kSharedOwner, 1)), PackItemKey(Structure(0, kSharedOwner, 2)));
+  EXPECT_NE(PackSegmentKey(Structure(0), 0), PackSegmentKey(Structure(0), 1));
+}
+
+TEST(CacheSimTest, MissThenHit) {
+  CacheSim cache(1024, 256);
+  EXPECT_FALSE(cache.TouchSegment(Structure(0), 0, 256, false));
+  EXPECT_TRUE(cache.TouchSegment(Structure(0), 0, 256, false));
+  EXPECT_EQ(cache.stats().touches, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().miss_bytes, 256u);
+}
+
+TEST(CacheSimTest, ExactLruEviction) {
+  CacheSim cache(512, 256);  // Two segments fit.
+  cache.TouchSegment(Structure(0), 0, 256, false);  // A
+  cache.TouchSegment(Structure(1), 0, 256, false);  // B
+  cache.TouchSegment(Structure(0), 0, 256, false);  // Touch A: now B is LRU.
+  cache.TouchSegment(Structure(2), 0, 256, false);  // C evicts B.
+  EXPECT_TRUE(cache.IsResident(Structure(0), 0));
+  EXPECT_FALSE(cache.IsResident(Structure(1), 0));
+  EXPECT_TRUE(cache.IsResident(Structure(2), 0));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheSimTest, PinnedSegmentsSurviveEviction) {
+  CacheSim cache(512, 256);
+  cache.TouchSegment(Structure(0), 0, 256, /*pin=*/true);
+  cache.TouchSegment(Structure(1), 0, 256, false);
+  cache.TouchSegment(Structure(2), 0, 256, false);  // Must evict partition 1, not pinned 0.
+  EXPECT_TRUE(cache.IsResident(Structure(0), 0));
+  EXPECT_FALSE(cache.IsResident(Structure(1), 0));
+  cache.UnpinAll();
+  cache.TouchSegment(Structure(3), 0, 256, false);
+  cache.TouchSegment(Structure(4), 0, 256, false);
+  EXPECT_FALSE(cache.IsResident(Structure(0), 0));  // Unpinned, now evictable.
+}
+
+TEST(CacheSimTest, PinnedOverflowCounted) {
+  CacheSim cache(256, 256);
+  cache.TouchSegment(Structure(0), 0, 256, /*pin=*/true);
+  cache.TouchSegment(Structure(1), 0, 256, /*pin=*/true);  // Cannot evict pinned: overflow.
+  EXPECT_GE(cache.stats().pinned_overflows, 1u);
+  EXPECT_GT(cache.occupancy(), cache.capacity());
+}
+
+TEST(CacheSimTest, TouchItemSplitsIntoSegments) {
+  CacheSim cache(4096, 256);
+  uint64_t misses = 0;
+  const uint64_t missed_bytes = cache.TouchItem(Structure(0), 1000, false, &misses);
+  EXPECT_EQ(misses, 4u);  // ceil(1000/256)
+  EXPECT_EQ(missed_bytes, 1000u);
+  EXPECT_EQ(cache.SegmentsFor(1000), 4u);
+  EXPECT_EQ(cache.SegmentsFor(0), 0u);
+  EXPECT_EQ(cache.SegmentsFor(256), 1u);
+}
+
+TEST(CacheSimTest, FlushDropsEverythingWithoutStats) {
+  CacheSim cache(4096, 256);
+  cache.TouchItem(Structure(0), 1024, false);
+  const CacheStats before = cache.stats();
+  cache.Flush();
+  EXPECT_EQ(cache.occupancy(), 0u);
+  EXPECT_FALSE(cache.IsResident(Structure(0), 0));
+  EXPECT_EQ(cache.stats().touches, before.touches);
+}
+
+TEST(CacheSimTest, UnpinItemAllowsEviction) {
+  CacheSim cache(512, 256);
+  cache.TouchItem(Structure(0), 512, /*pin=*/true);
+  cache.UnpinItem(Structure(0), 512);
+  cache.TouchSegment(Structure(1), 0, 256, false);
+  cache.TouchSegment(Structure(2), 0, 256, false);
+  EXPECT_FALSE(cache.IsResident(Structure(0), 0));
+}
+
+TEST(CacheSimTest, MissRateComputation) {
+  CacheSim cache(4096, 256);
+  cache.TouchSegment(Structure(0), 0, 256, false);
+  cache.TouchSegment(Structure(0), 0, 256, false);
+  cache.TouchSegment(Structure(0), 0, 256, false);
+  cache.TouchSegment(Structure(0), 0, 256, false);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.25);
+}
+
+TEST(MemoryTierTest, ResidentItemServesFromMemory) {
+  MemoryTier memory(1 << 20);
+  memory.Preload(Structure(0), 4096);
+  EXPECT_TRUE(memory.IsResident(Structure(0)));
+  const uint64_t disk = memory.ServeMiss(Structure(0), 4096, 256);
+  EXPECT_EQ(disk, 0u);
+  EXPECT_EQ(memory.stats().mem_bytes, 256u);
+  EXPECT_EQ(memory.stats().disk_bytes, 0u);
+}
+
+TEST(MemoryTierTest, NonResidentFaultsWholeItemFromDisk) {
+  MemoryTier memory(1 << 20);
+  const uint64_t disk = memory.ServeMiss(Structure(0), 4096, 256);
+  EXPECT_EQ(disk, 4096u);  // The whole item streams in on a fault.
+  EXPECT_EQ(memory.stats().disk_bytes, 4096u);
+  EXPECT_EQ(memory.stats().faults, 1u);
+  EXPECT_TRUE(memory.IsResident(Structure(0)));
+  // Second miss of same item: now memory-resident.
+  EXPECT_EQ(memory.ServeMiss(Structure(0), 4096, 256), 0u);
+}
+
+TEST(MemoryTierTest, LruEvictionAcrossItems) {
+  MemoryTier memory(8192);
+  memory.Preload(Structure(0), 4096);
+  memory.Preload(Structure(1), 4096);
+  memory.ServeMiss(Structure(0), 4096, 100);  // Touch 0: 1 becomes LRU.
+  memory.Preload(Structure(2), 4096);         // Evicts 1.
+  EXPECT_TRUE(memory.IsResident(Structure(0)));
+  EXPECT_FALSE(memory.IsResident(Structure(1)));
+  EXPECT_TRUE(memory.IsResident(Structure(2)));
+  EXPECT_EQ(memory.stats().evictions, 1u);
+}
+
+TEST(MemoryTierTest, DropRemovesItem) {
+  MemoryTier memory(8192);
+  memory.Preload(Structure(0), 4096);
+  memory.Drop(Structure(0));
+  EXPECT_FALSE(memory.IsResident(Structure(0)));
+  EXPECT_EQ(memory.occupancy(), 0u);
+  memory.Drop(Structure(0));  // Idempotent.
+}
+
+TEST(MemoryHierarchyTest, AccessChargesSplitByResidence) {
+  HierarchyOptions options;
+  options.cache_capacity_bytes = 1024;
+  options.cache_segment_bytes = 256;
+  options.memory_capacity_bytes = 1 << 20;
+  MemoryHierarchy hierarchy(options);
+  hierarchy.PreloadToMemory(Structure(0), 1024);
+
+  // First access: all misses served from memory.
+  AccessCharge first = hierarchy.Access(Structure(0), 1024, false);
+  EXPECT_EQ(first.mem_bytes, 1024u);
+  EXPECT_EQ(first.disk_bytes, 0u);
+  EXPECT_EQ(first.hit_bytes, 0u);
+  EXPECT_EQ(first.segment_touches, 4u);
+  EXPECT_EQ(first.segment_misses, 4u);
+
+  // Second access: all hits.
+  AccessCharge second = hierarchy.Access(Structure(0), 1024, false);
+  EXPECT_EQ(second.hit_bytes, 1024u);
+  EXPECT_EQ(second.segment_misses, 0u);
+}
+
+TEST(MemoryHierarchyTest, NonPreloadedItemComesFromDisk) {
+  HierarchyOptions options;
+  options.cache_capacity_bytes = 4096;
+  options.cache_segment_bytes = 256;
+  options.memory_capacity_bytes = 1 << 20;
+  MemoryHierarchy hierarchy(options);
+  AccessCharge charge = hierarchy.Access(Structure(5), 512, false);
+  EXPECT_EQ(charge.disk_bytes, 512u);
+}
+
+TEST(MemoryHierarchyTest, AccessChargeAccumulates) {
+  AccessCharge a;
+  a.hit_bytes = 10;
+  a.mem_bytes = 20;
+  AccessCharge b;
+  b.disk_bytes = 30;
+  b.segment_touches = 2;
+  a += b;
+  EXPECT_EQ(a.total_bytes(), 60u);
+  EXPECT_EQ(a.segment_touches, 2u);
+}
+
+TEST(MemoryHierarchyTest, AccessSegmentTouchesOnlyOne) {
+  HierarchyOptions options;
+  options.cache_capacity_bytes = 4096;
+  options.cache_segment_bytes = 256;
+  MemoryHierarchy hierarchy(options);
+  const AccessCharge charge = hierarchy.AccessSegment(Structure(0), 1000, 3);
+  EXPECT_EQ(charge.segment_touches, 1u);
+  // The item was not resident: the fault streams the whole 1000-byte item from disk.
+  EXPECT_EQ(charge.disk_bytes, 1000u);
+  // Out-of-range index wraps to the same last segment, now cached: 1000 - 3*256 bytes.
+  const AccessCharge wrapped = hierarchy.AccessSegment(Structure(0), 1000, 7);
+  EXPECT_EQ(wrapped.total_bytes(), 232u);
+  EXPECT_EQ(wrapped.hit_bytes, 232u);
+}
+
+TEST(MemoryHierarchyTest, EmptyItemAccessIsFree) {
+  HierarchyOptions options;
+  MemoryHierarchy hierarchy(options);
+  const AccessCharge charge = hierarchy.Access(Structure(0), 0, false);
+  EXPECT_EQ(charge.total_bytes(), 0u);
+  EXPECT_EQ(charge.segment_touches, 0u);
+}
+
+TEST(MemoryHierarchyTest, SharedVsPerJobOwnershipSeparatesItems) {
+  HierarchyOptions options;
+  options.cache_capacity_bytes = 64 << 10;
+  options.cache_segment_bytes = 1 << 10;
+  MemoryHierarchy hierarchy(options);
+  hierarchy.Access(Structure(0, kSharedOwner), 4096, false);
+  // Same partition, shared owner: hits.
+  EXPECT_EQ(hierarchy.Access(Structure(0, kSharedOwner), 4096, false).hit_bytes, 4096u);
+  // Same partition, per-job owner: distinct item, misses again.
+  EXPECT_EQ(hierarchy.Access(Structure(0, /*owner=*/3), 4096, false).hit_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace cgraph

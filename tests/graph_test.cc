@@ -1,0 +1,292 @@
+// Unit tests for src/graph: edge lists, CSR, generators, file I/O, datasets, stats.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "src/graph/datasets.h"
+#include "src/graph/edge_list.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/graph/io.h"
+#include "src/graph/stats.h"
+
+namespace cgraph {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(EdgeListTest, AddGrowsUniverse) {
+  EdgeList list;
+  list.Add(3, 7);
+  EXPECT_EQ(list.num_vertices(), 8u);
+  EXPECT_EQ(list.num_edges(), 1u);
+  list.Add(1, 2);
+  EXPECT_EQ(list.num_vertices(), 8u);
+}
+
+TEST(EdgeListTest, SortAndDedupKeepsFirstWeight) {
+  EdgeList list;
+  list.Add(1, 2, 5.0f);
+  list.Add(0, 1, 1.0f);
+  list.Add(1, 2, 9.0f);
+  list.SortAndDedup();
+  ASSERT_EQ(list.num_edges(), 2u);
+  EXPECT_EQ(list.edges()[0].src, 0u);
+  EXPECT_EQ(list.edges()[1].src, 1u);
+  EXPECT_FLOAT_EQ(list.edges()[1].weight, 5.0f);
+}
+
+TEST(EdgeListTest, RemoveSelfLoops) {
+  EdgeList list;
+  list.Add(0, 0);
+  list.Add(0, 1);
+  list.Add(1, 1);
+  list.RemoveSelfLoops();
+  ASSERT_EQ(list.num_edges(), 1u);
+  EXPECT_EQ(list.edges()[0].dst, 1u);
+}
+
+TEST(EdgeListTest, FitNumVertices) {
+  EdgeList list(100, {Edge{1, 2, 1.0f}});
+  list.FitNumVertices();
+  EXPECT_EQ(list.num_vertices(), 3u);
+  EdgeList empty;
+  empty.FitNumVertices();
+  EXPECT_EQ(empty.num_vertices(), 0u);
+}
+
+TEST(GraphTest, CsrDegreesAndNeighbors) {
+  EdgeList list;
+  list.Add(0, 1, 2.0f);
+  list.Add(0, 2, 3.0f);
+  list.Add(2, 1, 4.0f);
+  const Graph g = Graph::FromEdges(list);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  const auto n0 = g.out_neighbors(0);
+  EXPECT_EQ(std::set<VertexId>(n0.begin(), n0.end()), (std::set<VertexId>{1, 2}));
+  const auto w2 = g.out_weights(2);
+  ASSERT_EQ(w2.size(), 1u);
+  EXPECT_FLOAT_EQ(w2[0], 4.0f);
+  const auto in1 = g.in_neighbors(1);
+  EXPECT_EQ(std::set<VertexId>(in1.begin(), in1.end()), (std::set<VertexId>{0, 2}));
+}
+
+TEST(GraphTest, EmptyGraph) {
+  EdgeList list;
+  const Graph g = Graph::FromEdges(list);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(GeneratorsTest, RingShape) {
+  const EdgeList ring = GenerateRing(5);
+  EXPECT_EQ(ring.num_vertices(), 5u);
+  EXPECT_EQ(ring.num_edges(), 5u);
+  const Graph g = Graph::FromEdges(ring);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_EQ(g.in_degree(v), 1u);
+  }
+}
+
+TEST(GeneratorsTest, PathShape) {
+  const EdgeList path = GeneratePath(4);
+  EXPECT_EQ(path.num_edges(), 3u);
+}
+
+TEST(GeneratorsTest, StarShape) {
+  const EdgeList star = GenerateStar(6);
+  const Graph g = Graph::FromEdges(star);
+  EXPECT_EQ(g.out_degree(0), 5u);
+  EXPECT_EQ(g.in_degree(0), 5u);
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+  }
+}
+
+TEST(GeneratorsTest, GridShape) {
+  const EdgeList grid = GenerateGrid(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12u);
+  // Horizontal: 3 rows x 3 pairs x 2 dirs; vertical: 2 rows x 4 cols x 2 dirs.
+  EXPECT_EQ(grid.num_edges(), 3u * 3u * 2u + 2u * 4u * 2u);
+}
+
+TEST(GeneratorsTest, CompleteShape) {
+  const EdgeList complete = GenerateComplete(5);
+  EXPECT_EQ(complete.num_edges(), 20u);
+}
+
+TEST(GeneratorsTest, RmatDeterministicInSeed) {
+  RmatOptions options;
+  options.scale = 8;
+  options.edge_factor = 4;
+  const EdgeList a = GenerateRmat(options);
+  const EdgeList b = GenerateRmat(options);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.edges(), b.edges());
+  options.seed = 2;
+  const EdgeList c = GenerateRmat(options);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(GeneratorsTest, RmatHasNoSelfLoopsOrDuplicates) {
+  RmatOptions options;
+  options.scale = 9;
+  options.edge_factor = 8;
+  const EdgeList g = GenerateRmat(options);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_TRUE(seen.insert({e.src, e.dst}).second);
+  }
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  RmatOptions options;
+  options.scale = 12;
+  options.edge_factor = 8;
+  const EdgeList list = GenerateRmat(options);
+  const Graph g = Graph::FromEdges(list);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  // Power-law: the top 1% of vertices should hold far more than 1% of the edges.
+  EXPECT_GT(stats.edges_on_top_percent_hubs, 0.1);
+  EXPECT_GT(stats.max_out_degree, 20u * static_cast<uint32_t>(stats.average_out_degree + 1));
+}
+
+TEST(GeneratorsTest, ErdosRenyiRoughlyUniform) {
+  const EdgeList list = GenerateErdosRenyi(1000, 8000, 3);
+  const Graph g = Graph::FromEdges(list);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_LT(stats.edges_on_top_percent_hubs, 0.1);  // No hubs.
+}
+
+TEST(IoTest, TextRoundTrip) {
+  EdgeList list;
+  list.Add(0, 1, 2.5f);
+  list.Add(1, 2, 1.0f);
+  const std::string path = TempPath("cgraph_io_text.el");
+  ASSERT_TRUE(SaveEdgeListText(list, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_FLOAT_EQ(loaded->edges()[0].weight, 2.5f);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TextParsesCommentsAndBlankLines) {
+  const std::string path = TempPath("cgraph_io_comments.el");
+  {
+    std::ofstream out(path);
+    out << "# header\n\n0 1\n  2\t3  \n";
+  }
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TextRejectsMalformedLines) {
+  const std::string path = TempPath("cgraph_io_bad.el");
+  {
+    std::ofstream out(path);
+    out << "0 1\nxyz 3\n";
+  }
+  auto loaded = LoadEdgeListText(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TextRejectsWrongFieldCount) {
+  const std::string path = TempPath("cgraph_io_fields.el");
+  {
+    std::ofstream out(path);
+    out << "0 1 2 3\n";
+  }
+  EXPECT_FALSE(LoadEdgeListText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  auto loaded = LoadEdgeListText("/nonexistent/definitely/missing.el");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoTest, BinaryRoundTrip) {
+  RmatOptions options;
+  options.scale = 8;
+  const EdgeList original = GenerateRmat(options);
+  const std::string path = TempPath("cgraph_io_bin.bel");
+  ASSERT_TRUE(SaveEdgeListBinary(original, path).ok());
+  auto loaded = LoadEdgeListBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded->edges(), original.edges());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryRejectsGarbage) {
+  const std::string path = TempPath("cgraph_io_garbage.bel");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a cgraph file at all, definitely too short of a header";
+  }
+  auto loaded = LoadEdgeListBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetsTest, FiveDatasetsOrderedBySize) {
+  const auto specs = PaperDatasets(-4);
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "twitter-sim");
+  EXPECT_EQ(specs[4].name, "hyperlink14-sim");
+  uint64_t prev_edges = 0;
+  for (const auto& spec : specs) {
+    const EdgeList g = GenerateDataset(spec);
+    EXPECT_GT(g.num_edges(), prev_edges);
+    prev_edges = g.num_edges();
+  }
+}
+
+TEST(DatasetsTest, ScaleShiftApplies) {
+  const auto base = PaperDatasets(0);
+  const auto shifted = PaperDatasets(-2);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(shifted[i].rmat_scale + 2, base[i].rmat_scale);
+  }
+}
+
+TEST(DatasetsTest, StructureBytesEstimatePositive) {
+  const auto specs = PaperDatasets(-6);
+  const EdgeList g = GenerateDataset(specs[0]);
+  EXPECT_GT(EstimateStructureBytes(g), g.num_edges() * 12ull);
+}
+
+TEST(StatsTest, HistogramBucketsSumToVertexCount) {
+  RmatOptions options;
+  options.scale = 10;
+  const EdgeList list = GenerateRmat(options);
+  const Graph g = Graph::FromEdges(list);
+  const auto hist = DegreeHistogramLog2(g);
+  uint64_t total = 0;
+  for (uint64_t c : hist) {
+    total += c;
+  }
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+}  // namespace
+}  // namespace cgraph

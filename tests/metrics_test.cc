@@ -1,0 +1,168 @@
+// Unit tests for the cost model, run reports (makespan/overlap/utilization), table
+// printing, and CSV serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/metrics/cost_model.h"
+#include "src/metrics/csv_writer.h"
+#include "src/metrics/run_report.h"
+#include "src/metrics/table_printer.h"
+
+namespace cgraph {
+namespace {
+
+CostModel SimpleModel() {
+  CostModel model;
+  model.cost_per_compute_unit = 1.0;
+  model.cost_per_hit_byte = 0.0;
+  model.cost_per_mem_byte = 1.0;
+  model.cost_per_disk_byte = 10.0;
+  model.bandwidth_channels = 2;
+  return model;
+}
+
+TEST(CostModelTest, ComputeAndAccessCosts) {
+  const CostModel model = SimpleModel();
+  EXPECT_DOUBLE_EQ(model.ComputeCost(100), 100.0);
+  AccessCharge charge;
+  charge.hit_bytes = 50;
+  charge.mem_bytes = 30;
+  charge.disk_bytes = 2;
+  EXPECT_DOUBLE_EQ(model.AccessCost(charge), 30.0 + 20.0);
+}
+
+TEST(CostModelTest, ModeledTimeRespectsChannelSaturation) {
+  const CostModel model = SimpleModel();
+  AccessCharge charge;
+  charge.mem_bytes = 100;
+  // 8 workers but only 2 channels: access divides by 2, compute by 8.
+  EXPECT_DOUBLE_EQ(model.ModeledTime(80, charge, 8), 80.0 / 8 + 100.0 / 2);
+  // 1 worker: both divide by 1.
+  EXPECT_DOUBLE_EQ(model.ModeledTime(80, charge, 1), 80.0 + 100.0);
+}
+
+RunReport TwoJobReport() {
+  RunReport report;
+  report.executor_name = "test";
+  report.workers = 2;
+  JobStats a;
+  a.job_name = "a";
+  a.compute_units = 100;
+  a.charge.mem_bytes = 50;
+  JobStats b;
+  b.job_name = "b";
+  b.compute_units = 300;
+  b.charge.mem_bytes = 150;
+  report.jobs = {a, b};
+  return report;
+}
+
+TEST(RunReportTest, TotalsAggregate) {
+  const RunReport report = TwoJobReport();
+  EXPECT_EQ(report.TotalComputeUnits(), 400u);
+  EXPECT_EQ(report.TotalCharge().mem_bytes, 200u);
+  EXPECT_EQ(report.BytesBelowCache(), 200u);
+}
+
+TEST(RunReportTest, MakespanOverlapsAcrossJobs) {
+  const CostModel model = SimpleModel();
+  RunReport report = TwoJobReport();
+  // compute = 400/2 = 200; access = 200/2 = 100. Two jobs: the smaller component is half
+  // hidden: 200 + 100/2 = 250.
+  EXPECT_DOUBLE_EQ(report.ModeledMakespan(model), 250.0);
+  // A single job cannot hide anything: plain sum.
+  report.jobs.resize(1);
+  // compute = 100/2 = 50; access = 50/2 = 25 -> 50 + 25.
+  EXPECT_DOUBLE_EQ(report.ModeledMakespan(model), 75.0);
+}
+
+TEST(RunReportTest, CpuUtilizationBounds) {
+  const CostModel model = SimpleModel();
+  const RunReport report = TwoJobReport();
+  const double utilization = report.CpuUtilization(model);
+  EXPECT_GT(utilization, 0.0);
+  EXPECT_LE(utilization, 1.0);
+  EXPECT_DOUBLE_EQ(utilization, 200.0 / 250.0);
+}
+
+TEST(RunReportTest, EmptyReportUtilizationIsOne) {
+  const CostModel model = SimpleModel();
+  RunReport report;
+  EXPECT_DOUBLE_EQ(report.CpuUtilization(model), 1.0);
+}
+
+TEST(JobStatsTest, ModeledTimesSplit) {
+  const CostModel model = SimpleModel();
+  JobStats stats;
+  stats.compute_units = 40;
+  stats.charge.mem_bytes = 10;
+  EXPECT_DOUBLE_EQ(stats.ModeledComputeTime(model, 4), 10.0);
+  EXPECT_DOUBLE_EQ(stats.ModeledAccessTime(model, 4), 5.0);
+  EXPECT_DOUBLE_EQ(stats.ModeledTime(model, 4), 15.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "22"});
+  const std::string out = table.ToString();
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<size_t> lengths;
+  while (std::getline(lines, line)) {
+    lengths.push_back(line.size());
+  }
+  ASSERT_EQ(lengths.size(), 4u);  // Header + separator + two rows.
+  EXPECT_EQ(lengths[0], lengths[1]);
+  EXPECT_EQ(lengths[0], lengths[2]);
+  EXPECT_EQ(lengths[0], lengths[3]);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"only-one"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+  // Three separators per row (one per column) plus the trailing one.
+  const std::string last_line = out.substr(out.rfind("| only-one"));
+  EXPECT_EQ(std::count(last_line.begin(), last_line.end(), '|'), 4);
+}
+
+TEST(CsvWriterTest, ContainsHeaderAndTotalRow) {
+  const CostModel model = SimpleModel();
+  const RunReport report = TwoJobReport();
+  const std::string csv = RunReportToCsv(report, model);
+  EXPECT_NE(csv.find("executor,job,iterations"), std::string::npos);
+  EXPECT_NE(csv.find("test,a,"), std::string::npos);
+  EXPECT_NE(csv.find("test,b,"), std::string::npos);
+  EXPECT_NE(csv.find("test,total,"), std::string::npos);
+  // Header + 2 jobs + total = 4 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+}
+
+TEST(CsvWriterTest, RoundTripThroughFile) {
+  const CostModel model = SimpleModel();
+  const RunReport report = TwoJobReport();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cgraph_report.csv").string();
+  ASSERT_TRUE(WriteRunReportCsv(report, model, path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), RunReportToCsv(report, model));
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, UnwritablePathFails) {
+  const CostModel model = SimpleModel();
+  const RunReport report = TwoJobReport();
+  EXPECT_FALSE(WriteRunReportCsv(report, model, "/nonexistent/dir/report.csv").ok());
+}
+
+}  // namespace
+}  // namespace cgraph

@@ -1,0 +1,97 @@
+// Tests for vertex relabeling utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/algorithms/reference.h"
+#include "src/graph/generators.h"
+#include "src/graph/graph.h"
+#include "src/graph/reorder.h"
+
+namespace cgraph {
+namespace {
+
+void ExpectValidPermutation(const ReorderResult& result, VertexId n) {
+  ASSERT_EQ(result.new_id.size(), n);
+  ASSERT_EQ(result.old_id.size(), n);
+  std::set<VertexId> seen(result.old_id.begin(), result.old_id.end());
+  EXPECT_EQ(seen.size(), n);
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(result.new_id[result.old_id[v]], v);
+    EXPECT_EQ(result.old_id[result.new_id[v]], v);
+  }
+}
+
+TEST(ReorderTest, DegreeOrderIsValidPermutationAndSorted) {
+  const EdgeList edges = GenerateErdosRenyi(200, 1500, 3);
+  const ReorderResult result = ReorderByDegree(edges);
+  ExpectValidPermutation(result, edges.num_vertices());
+  // New ids must be ordered by non-increasing total degree of the original vertices.
+  std::vector<uint32_t> degree(edges.num_vertices(), 0);
+  for (const Edge& e : edges.edges()) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  for (VertexId v = 0; v + 1 < edges.num_vertices(); ++v) {
+    EXPECT_GE(degree[result.old_id[v]], degree[result.old_id[v + 1]]);
+  }
+}
+
+TEST(ReorderTest, RelabeledGraphIsIsomorphic) {
+  const EdgeList edges = GenerateErdosRenyi(150, 1200, 7);
+  const ReorderResult result = ReorderByBfs(edges);
+  ExpectValidPermutation(result, edges.num_vertices());
+  EXPECT_EQ(result.edges.num_edges(), edges.num_edges());
+  // Degree multiset preserved.
+  const Graph original = Graph::FromEdges(edges);
+  const Graph relabeled = Graph::FromEdges(result.edges);
+  std::multiset<uint32_t> a;
+  std::multiset<uint32_t> b;
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    a.insert(original.out_degree(v));
+    b.insert(relabeled.out_degree(v));
+  }
+  EXPECT_EQ(a, b);
+  // Per-vertex mapping preserves degrees exactly.
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    EXPECT_EQ(original.out_degree(v), relabeled.out_degree(result.new_id[v]));
+    EXPECT_EQ(original.in_degree(v), relabeled.in_degree(result.new_id[v]));
+  }
+}
+
+TEST(ReorderTest, BfsOrderPutsRootFirstAndNeighborsEarly) {
+  // Star from hub 0: BFS order must start at the hub.
+  const EdgeList star = GenerateStar(50);
+  const ReorderResult result = ReorderByBfs(star);
+  EXPECT_EQ(result.old_id[0], 0u);
+}
+
+TEST(ReorderTest, ComponentStructurePreserved) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 0);
+  edges.Add(2, 3);
+  edges.Add(3, 2);
+  edges.set_num_vertices(5);  // Vertex 4 isolated.
+  const ReorderResult result = ReorderByDegree(edges);
+  const auto original = ReferenceWcc(Graph::FromEdges(edges));
+  const auto relabeled = ReferenceWcc(Graph::FromEdges(result.edges));
+  // Map the relabeled labels back and compare component *partitions*.
+  std::vector<double> mapped(original.size());
+  for (VertexId v = 0; v < original.size(); ++v) {
+    mapped[v] = relabeled[result.new_id[v]];
+  }
+  EXPECT_EQ(CanonicalizeLabels(mapped), CanonicalizeLabels(original));
+}
+
+TEST(ReorderTest, EmptyGraph) {
+  EdgeList empty;
+  const ReorderResult by_degree = ReorderByDegree(empty);
+  EXPECT_EQ(by_degree.edges.num_vertices(), 0u);
+  const ReorderResult by_bfs = ReorderByBfs(empty);
+  EXPECT_EQ(by_bfs.edges.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace cgraph

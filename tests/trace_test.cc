@@ -1,0 +1,79 @@
+// Tests for the synthetic CGP-job trace generator (Fig. 1 regeneration).
+
+#include <gtest/gtest.h>
+
+#include "src/trace/job_trace.h"
+
+namespace cgraph {
+namespace {
+
+TEST(JobTraceTest, Deterministic) {
+  TraceOptions options;
+  const TraceSummary a = GenerateJobTrace(options);
+  const TraceSummary b = GenerateJobTrace(options);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].concurrent_jobs, b.points[i].concurrent_jobs);
+    EXPECT_EQ(a.points[i].shared_ratio, b.points[i].shared_ratio);
+  }
+}
+
+TEST(JobTraceTest, SeedChangesTrace) {
+  TraceOptions options;
+  const TraceSummary a = GenerateJobTrace(options);
+  options.seed += 1;
+  const TraceSummary b = GenerateJobTrace(options);
+  bool differs = false;
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].concurrent_jobs != b.points[i].concurrent_jobs) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(JobTraceTest, HourlySamplesCoverRequestedSpan) {
+  TraceOptions options;
+  options.hours = 48;
+  const TraceSummary summary = GenerateJobTrace(options);
+  EXPECT_EQ(summary.points.size(), 48u);
+  EXPECT_DOUBLE_EQ(summary.points.front().hour, 0.0);
+  EXPECT_DOUBLE_EQ(summary.points.back().hour, 47.0);
+}
+
+TEST(JobTraceTest, SharedRatiosAreMonotoneInThreshold) {
+  const TraceSummary summary = GenerateJobTrace(TraceOptions{});
+  for (const TracePoint& p : summary.points) {
+    for (size_t i = 1; i < p.shared_ratio.size(); ++i) {
+      EXPECT_LE(p.shared_ratio[i], p.shared_ratio[i - 1]);
+    }
+    for (const double r : p.shared_ratio) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(JobTraceTest, PaperLikeRegime) {
+  // The defaults should land in the paper's qualitative regime: double-digit peak
+  // concurrency and most in-use partitions shared by more than one job.
+  const TraceSummary summary = GenerateJobTrace(TraceOptions{});
+  EXPECT_GE(summary.peak_concurrent_jobs, 10u);
+  EXPECT_GT(summary.mean_shared_by_more_than_one, 0.5);
+}
+
+TEST(JobTraceTest, SummaryStatsConsistent) {
+  const TraceSummary summary = GenerateJobTrace(TraceOptions{});
+  uint32_t peak = 0;
+  double sum = 0.0;
+  for (const TracePoint& p : summary.points) {
+    peak = std::max(peak, p.concurrent_jobs);
+    sum += p.concurrent_jobs;
+  }
+  EXPECT_EQ(summary.peak_concurrent_jobs, peak);
+  EXPECT_DOUBLE_EQ(summary.mean_concurrent_jobs, sum / summary.points.size());
+}
+
+}  // namespace
+}  // namespace cgraph
