@@ -21,6 +21,8 @@
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/partition/partitioned_graph.h"
+#include "tests/testing/graph_fixtures.h"
+#include "tests/testing/test_helpers.h"
 
 namespace cgraph {
 namespace {
@@ -133,18 +135,15 @@ TEST(FactoryTest, PickSourceIsMaxOutDegree) {
 class NewAlgorithmEngineTest : public ::testing::Test {
  protected:
   NewAlgorithmEngineTest() {
-    RmatOptions rmat;
-    rmat.scale = 9;
-    rmat.edge_factor = 8;
-    rmat.seed = 13;
-    edges_ = GenerateRmat(rmat);
+    edges_ = test_support::FixedRmat(9, 8, 13);
     graph_ = Graph::FromEdges(edges_);
     PartitionOptions popts;
     popts.num_partitions = 6;
     pg_ = PartitionedGraphBuilder::Build(edges_, popts);
-    options_.num_workers = 4;
-    options_.hierarchy.cache_capacity_bytes = 64ull << 10;
-    options_.hierarchy.cache_segment_bytes = 4ull << 10;
+    options_ = test_support::TestEngineOptions();
+    // Only cache contention is test-sized here; the memory tier stays at the
+    // hierarchy default so no structure ever spills to disk.
+    options_.hierarchy.memory_capacity_bytes = HierarchyOptions().memory_capacity_bytes;
   }
 
   EdgeList edges_;

@@ -19,47 +19,22 @@
 #include "src/core/ltp_engine.h"
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
+#include "tests/testing/graph_fixtures.h"
+#include "tests/testing/test_helpers.h"
 
 namespace cgraph {
 namespace {
 
-EngineOptions TestEngineOptions() {
-  EngineOptions options;
-  options.num_workers = 4;
-  options.hierarchy.cache_capacity_bytes = 64ull << 10;
-  options.hierarchy.cache_segment_bytes = 4ull << 10;
-  options.hierarchy.memory_capacity_bytes = 64ull << 20;
-  return options;
-}
-
 BaselineOptions MakeOptions(BaselineSystem system) {
   BaselineOptions options;
   options.system = system;
-  options.engine = TestEngineOptions();
+  options.engine = test_support::TestEngineOptions();
   return options;
-}
-
-void ExpectNear(const std::vector<double>& actual, const std::vector<double>& expected,
-                double tolerance, const std::string& what) {
-  ASSERT_EQ(actual.size(), expected.size()) << what;
-  for (size_t v = 0; v < actual.size(); ++v) {
-    if (std::isinf(expected[v])) {
-      EXPECT_TRUE(std::isinf(actual[v])) << what << " vertex " << v;
-    } else {
-      EXPECT_NEAR(actual[v], expected[v], tolerance) << what << " vertex " << v;
-    }
-  }
 }
 
 class BaselineSystemTest : public ::testing::TestWithParam<BaselineSystem> {
  protected:
-  static EdgeList Edges() {
-    RmatOptions rmat;
-    rmat.scale = 9;
-    rmat.edge_factor = 8;
-    rmat.seed = 31;
-    return GenerateRmat(rmat);
-  }
+  static EdgeList Edges() { return test_support::FixedRmat(9, 8, 31); }
 };
 
 TEST_P(BaselineSystemTest, FourJobMixMatchesReferences) {
@@ -78,9 +53,9 @@ TEST_P(BaselineSystemTest, FourJobMixMatchesReferences) {
   const RunReport report = executor.Run();
   EXPECT_EQ(report.executor_name, BaselineSystemName(GetParam()));
 
-  ExpectNear(executor.FinalValues(pr), ReferencePageRank(g, 0.85, 1e-10), 1e-6, "pr");
-  ExpectNear(executor.FinalValues(ss), ReferenceSssp(g, source), 1e-12, "sssp");
-  ExpectNear(executor.FinalValues(bf), ReferenceBfs(g, source), 0.0, "bfs");
+  test_support::ExpectNearValues(executor.FinalValues(pr), ReferencePageRank(g, 0.85, 1e-10), 1e-6, "pr");
+  test_support::ExpectNearValues(executor.FinalValues(ss), ReferenceSssp(g, source), 1e-12, "sssp");
+  test_support::ExpectNearValues(executor.FinalValues(bf), ReferenceBfs(g, source), 0.0, "bfs");
   std::vector<double> labels = executor.FinalAux(sc);
   for (double& l : labels) {
     l -= 1.0;
@@ -99,7 +74,7 @@ TEST_P(BaselineSystemTest, WccAndKcoreMatchReferences) {
   const JobId wc = executor.AddJob(std::make_unique<WccProgram>());
   const JobId kc = executor.AddJob(std::make_unique<KCoreProgram>(4));
   executor.Run();
-  ExpectNear(executor.FinalValues(wc), ReferenceWcc(g), 0.0, "wcc");
+  test_support::ExpectNearValues(executor.FinalValues(wc), ReferenceWcc(g), 0.0, "wcc");
   const auto aux = executor.FinalAux(kc);
   const auto expected = ReferenceKCore(g, 4);
   for (size_t v = 0; v < aux.size(); ++v) {
@@ -152,11 +127,7 @@ struct MixRunner {
 class BaselinePolicyTest : public ::testing::Test {
  protected:
   BaselinePolicyTest() {
-    RmatOptions rmat;
-    rmat.scale = 10;
-    rmat.edge_factor = 8;
-    rmat.seed = 9;
-    edges_ = GenerateRmat(rmat);
+    edges_ = test_support::FixedRmat(10, 8, 9);
     PartitionOptions popts;
     popts.num_partitions = 16;
     pg_ = PartitionedGraphBuilder::Build(edges_, popts);
@@ -169,7 +140,7 @@ class BaselinePolicyTest : public ::testing::Test {
 TEST_F(BaselinePolicyTest, CGraphSharesLoadsBetterThanSeraph) {
   const RunReport seraph = MixRunner::RunMix(pg_, BaselineSystem::kSeraph);
 
-  LtpEngine engine(&pg_, TestEngineOptions());
+  LtpEngine engine(&pg_, test_support::TestEngineOptions());
   MixRunner::AddMix(engine, pg_, 4);
   const RunReport cgraph = engine.Run();
 

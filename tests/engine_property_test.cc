@@ -14,18 +14,13 @@
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/partition/partitioned_graph.h"
+#include "tests/testing/graph_fixtures.h"
 
 namespace cgraph {
 namespace {
 
 const EdgeList& TestEdges() {
-  static const EdgeList edges = [] {
-    RmatOptions rmat;
-    rmat.scale = 9;
-    rmat.edge_factor = 7;
-    rmat.seed = 1234;
-    return GenerateRmat(rmat);
-  }();
+  static const EdgeList edges = test_support::FixedRmat(9, 7, 1234);
   return edges;
 }
 

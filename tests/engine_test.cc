@@ -20,51 +20,14 @@
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/partition/partitioned_graph.h"
+#include "tests/testing/graph_fixtures.h"
+#include "tests/testing/test_helpers.h"
 
 namespace cgraph {
 namespace {
 
-struct GraphCase {
-  std::string name;
-  EdgeList edges;
-};
-
-std::vector<GraphCase> TestGraphs() {
-  std::vector<GraphCase> cases;
-  cases.push_back({"ring50", GenerateRing(50)});
-  cases.push_back({"path40", GeneratePath(40)});
-  cases.push_back({"star64", GenerateStar(64)});
-  cases.push_back({"grid8x8", GenerateGrid(8, 8)});
-  cases.push_back({"complete12", GenerateComplete(12)});
-  {
-    RmatOptions rmat;
-    rmat.scale = 9;
-    rmat.edge_factor = 8;
-    rmat.seed = 77;
-    cases.push_back({"rmat9", GenerateRmat(rmat)});
-  }
-  cases.push_back({"erdos", GenerateErdosRenyi(400, 3000, 55)});
-  {
-    // Disconnected graph with isolated vertices and self-loops.
-    EdgeList odd;
-    odd.Add(0, 1);
-    odd.Add(1, 0);
-    odd.Add(2, 2);
-    odd.Add(3, 4);
-    odd.set_num_vertices(8);
-    cases.push_back({"odd", std::move(odd)});
-  }
-  return cases;
-}
-
-EngineOptions TestOptions() {
-  EngineOptions options;
-  options.num_workers = 4;
-  options.hierarchy.cache_capacity_bytes = 64ull << 10;
-  options.hierarchy.cache_segment_bytes = 4ull << 10;
-  options.hierarchy.memory_capacity_bytes = 64ull << 20;
-  return options;
-}
+using test_support::GraphCase;
+using test_support::StandardGraphCases;
 
 PartitionedGraph Partition(const EdgeList& edges, uint32_t parts = 6) {
   PartitionOptions options;
@@ -73,56 +36,41 @@ PartitionedGraph Partition(const EdgeList& edges, uint32_t parts = 6) {
   return PartitionedGraphBuilder::Build(edges, options);
 }
 
-void ExpectNear(const std::vector<double>& actual, const std::vector<double>& expected,
-                double tolerance, const std::string& what) {
-  ASSERT_EQ(actual.size(), expected.size()) << what;
-  for (size_t v = 0; v < actual.size(); ++v) {
-    if (std::isinf(expected[v])) {
-      EXPECT_TRUE(std::isinf(actual[v])) << what << " vertex " << v;
-    } else {
-      EXPECT_NEAR(actual[v], expected[v], tolerance) << what << " vertex " << v;
-    }
-  }
-}
-
 class EngineAlgorithmTest : public ::testing::TestWithParam<size_t> {
  protected:
-  static const GraphCase& Case() {
-    static const std::vector<GraphCase> cases = TestGraphs();
-    return cases[GetParam()];
-  }
+  static const GraphCase& Case() { return StandardGraphCases()[GetParam()]; }
 };
 
 TEST_P(EngineAlgorithmTest, PageRankMatchesReference) {
   const GraphCase& c = Case();
   const PartitionedGraph pg = Partition(c.edges);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId id = engine.AddJob(std::make_unique<PageRankProgram>(0.85, 1e-10));
   engine.Run();
   const auto expected = ReferencePageRank(Graph::FromEdges(c.edges), 0.85, 1e-10);
-  ExpectNear(engine.FinalValues(id), expected, 1e-6, c.name + "/pagerank");
+  test_support::ExpectNearValues(engine.FinalValues(id), expected, 1e-6, c.name + "/pagerank");
 }
 
 TEST_P(EngineAlgorithmTest, SsspMatchesDijkstra) {
   const GraphCase& c = Case();
   const VertexId source = PickSourceVertex(c.edges);
   const PartitionedGraph pg = Partition(c.edges);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId id = engine.AddJob(std::make_unique<SsspProgram>(source));
   engine.Run();
   const auto expected = ReferenceSssp(Graph::FromEdges(c.edges), source);
-  ExpectNear(engine.FinalValues(id), expected, 1e-12, c.name + "/sssp");
+  test_support::ExpectNearValues(engine.FinalValues(id), expected, 1e-12, c.name + "/sssp");
 }
 
 TEST_P(EngineAlgorithmTest, BfsMatchesReference) {
   const GraphCase& c = Case();
   const VertexId source = PickSourceVertex(c.edges);
   const PartitionedGraph pg = Partition(c.edges);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId id = engine.AddJob(std::make_unique<BfsProgram>(source));
   engine.Run();
   const auto expected = ReferenceBfs(Graph::FromEdges(c.edges), source);
-  ExpectNear(engine.FinalValues(id), expected, 0.0, c.name + "/bfs");
+  test_support::ExpectNearValues(engine.FinalValues(id), expected, 0.0, c.name + "/bfs");
 }
 
 TEST_P(EngineAlgorithmTest, WccMatchesUnionFind) {
@@ -131,18 +79,18 @@ TEST_P(EngineAlgorithmTest, WccMatchesUnionFind) {
     return;
   }
   const PartitionedGraph pg = Partition(c.edges);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId id = engine.AddJob(std::make_unique<WccProgram>());
   engine.Run();
   const auto expected = ReferenceWcc(Graph::FromEdges(c.edges));
   // Min-label propagation converges to the minimum member id — identical to union-by-min.
-  ExpectNear(engine.FinalValues(id), expected, 0.0, c.name + "/wcc");
+  test_support::ExpectNearValues(engine.FinalValues(id), expected, 0.0, c.name + "/wcc");
 }
 
 TEST_P(EngineAlgorithmTest, SccMatchesTarjan) {
   const GraphCase& c = Case();
   const PartitionedGraph pg = Partition(c.edges);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId id = engine.AddJob(std::make_unique<SccProgram>());
   engine.Run();
   std::vector<double> labels = engine.FinalAux(id);
@@ -156,7 +104,7 @@ TEST_P(EngineAlgorithmTest, SccMatchesTarjan) {
 TEST_P(EngineAlgorithmTest, KCoreMatchesPeeling) {
   const GraphCase& c = Case();
   const PartitionedGraph pg = Partition(c.edges);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId id = engine.AddJob(std::make_unique<KCoreProgram>(3));
   engine.Run();
   const auto aux = engine.FinalAux(id);  // 1.0 = peeled.
@@ -168,10 +116,9 @@ TEST_P(EngineAlgorithmTest, KCoreMatchesPeeling) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGraphs, EngineAlgorithmTest,
-                         ::testing::Range<size_t>(0, TestGraphs().size()),
+                         ::testing::Range<size_t>(0, StandardGraphCases().size()),
                          [](const ::testing::TestParamInfo<size_t>& param_info) {
-                           static const std::vector<GraphCase> cases = TestGraphs();
-                           return cases[param_info.param].name;
+                           return StandardGraphCases()[param_info.param].name;
                          });
 
 TEST(EngineTest, ConcurrentJobMixAllCorrect) {
@@ -184,7 +131,7 @@ TEST(EngineTest, ConcurrentJobMixAllCorrect) {
   const VertexId source = PickSourceVertex(edges);
   const PartitionedGraph pg = Partition(edges, 12);
 
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId pr = engine.AddJob(std::make_unique<PageRankProgram>(0.85, 1e-10));
   const JobId ss = engine.AddJob(std::make_unique<SsspProgram>(source));
   const JobId sc = engine.AddJob(std::make_unique<SccProgram>());
@@ -194,10 +141,10 @@ TEST(EngineTest, ConcurrentJobMixAllCorrect) {
   const RunReport report = engine.Run();
   EXPECT_EQ(report.jobs.size(), 6u);
 
-  ExpectNear(engine.FinalValues(pr), ReferencePageRank(g, 0.85, 1e-10), 1e-6, "mix/pr");
-  ExpectNear(engine.FinalValues(ss), ReferenceSssp(g, source), 1e-12, "mix/sssp");
-  ExpectNear(engine.FinalValues(bf), ReferenceBfs(g, source), 0.0, "mix/bfs");
-  ExpectNear(engine.FinalValues(wc), ReferenceWcc(g), 0.0, "mix/wcc");
+  test_support::ExpectNearValues(engine.FinalValues(pr), ReferencePageRank(g, 0.85, 1e-10), 1e-6, "mix/pr");
+  test_support::ExpectNearValues(engine.FinalValues(ss), ReferenceSssp(g, source), 1e-12, "mix/sssp");
+  test_support::ExpectNearValues(engine.FinalValues(bf), ReferenceBfs(g, source), 0.0, "mix/bfs");
+  test_support::ExpectNearValues(engine.FinalValues(wc), ReferenceWcc(g), 0.0, "mix/wcc");
   std::vector<double> scc_labels = engine.FinalAux(sc);
   for (double& l : scc_labels) {
     l -= 1.0;
@@ -215,25 +162,25 @@ TEST(EngineTest, SchedulerAblationStillCorrect) {
   const Graph g = Graph::FromEdges(edges);
   const VertexId source = PickSourceVertex(edges);
   const PartitionedGraph pg = Partition(edges, 8);
-  EngineOptions options = TestOptions();
+  EngineOptions options = test_support::TestEngineOptions();
   options.use_scheduler = false;
   options.straggler_split = false;
   LtpEngine engine(&pg, options);
   const JobId id = engine.AddJob(std::make_unique<SsspProgram>(source));
   engine.Run();
-  ExpectNear(engine.FinalValues(id), ReferenceSssp(g, source), 1e-12, "ablation/sssp");
+  test_support::ExpectNearValues(engine.FinalValues(id), ReferenceSssp(g, source), 1e-12, "ablation/sssp");
 }
 
 TEST(EngineTest, SingleWorkerCorrect) {
   const EdgeList edges = GenerateErdosRenyi(200, 1500, 17);
   const Graph g = Graph::FromEdges(edges);
   const PartitionedGraph pg = Partition(edges, 4);
-  EngineOptions options = TestOptions();
+  EngineOptions options = test_support::TestEngineOptions();
   options.num_workers = 1;
   LtpEngine engine(&pg, options);
   const JobId id = engine.AddJob(std::make_unique<WccProgram>());
   engine.Run();
-  ExpectNear(engine.FinalValues(id), ReferenceWcc(g), 0.0, "single-worker/wcc");
+  test_support::ExpectNearValues(engine.FinalValues(id), ReferenceWcc(g), 0.0, "single-worker/wcc");
 }
 
 TEST(EngineTest, BfsIterationsTrackFrontierDepth) {
@@ -241,7 +188,7 @@ TEST(EngineTest, BfsIterationsTrackFrontierDepth) {
   // iteration per hop (intra-partition propagation is one hop per iteration in LTP).
   EdgeList path = GeneratePath(40);
   const PartitionedGraph pg = Partition(path, 1);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId id = engine.AddJob(std::make_unique<BfsProgram>(0));
   const RunReport report = engine.Run();
   EXPECT_GE(report.jobs[0].iterations, 39u);
@@ -253,7 +200,7 @@ TEST(EngineTest, InactivePartitionsAreSkipped) {
   // more times. BFS must therefore charge far fewer structure bytes than PageRank.
   const EdgeList star = GenerateStar(512);
   const PartitionedGraph pg = Partition(star, 8);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId bfs = engine.AddJob(std::make_unique<BfsProgram>(0));
   const JobId pr = engine.AddJob(std::make_unique<PageRankProgram>());
   const RunReport report = engine.Run();
@@ -268,7 +215,7 @@ TEST(EngineTest, DeterministicReportsForExactAlgorithms) {
   RunReport first;
   RunReport second;
   for (RunReport* out : {&first, &second}) {
-    LtpEngine engine(&pg, TestOptions());
+    LtpEngine engine(&pg, test_support::TestEngineOptions());
     engine.AddJob(std::make_unique<BfsProgram>(source));
     engine.AddJob(std::make_unique<WccProgram>());
     *out = engine.Run();
@@ -287,7 +234,7 @@ TEST(EngineTest, DeterministicReportsForExactAlgorithms) {
 TEST(EngineTest, EmptyGraphFinishesImmediately) {
   EdgeList empty;
   const PartitionedGraph pg = Partition(empty, 4);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   engine.AddJob(std::make_unique<WccProgram>());
   const RunReport report = engine.Run();
   EXPECT_EQ(report.jobs[0].vertex_computes, 0u);
@@ -296,7 +243,7 @@ TEST(EngineTest, EmptyGraphFinishesImmediately) {
 TEST(EngineTest, SourceOutsideGraphConvergesInstantly) {
   const EdgeList edges = GenerateRing(16);
   const PartitionedGraph pg = Partition(edges, 2);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   const JobId id = engine.AddJob(std::make_unique<SsspProgram>(999));
   const RunReport report = engine.Run();
   EXPECT_EQ(report.jobs[0].vertex_computes, 0u);
@@ -308,7 +255,7 @@ TEST(EngineTest, SourceOutsideGraphConvergesInstantly) {
 TEST(EngineTest, MaxIterationSafetyValve) {
   const EdgeList ring = GenerateRing(32);
   const PartitionedGraph pg = Partition(ring, 2);
-  EngineOptions options = TestOptions();
+  EngineOptions options = test_support::TestEngineOptions();
   options.max_iterations_per_job = 3;
   LtpEngine engine(&pg, options);
   // PageRank on a ring takes many iterations; the valve must stop it at 3.
@@ -320,7 +267,7 @@ TEST(EngineTest, MaxIterationSafetyValve) {
 TEST(EngineTest, JobStatsArePopulated) {
   const EdgeList edges = GenerateErdosRenyi(200, 1600, 3);
   const PartitionedGraph pg = Partition(edges, 4);
-  LtpEngine engine(&pg, TestOptions());
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
   engine.AddJob(std::make_unique<PageRankProgram>());
   const RunReport report = engine.Run();
   const JobStats& stats = report.jobs[0];
@@ -348,12 +295,12 @@ TEST(EngineTest, SnapshotJobsSeeTheirVersions) {
   // Rewiring at 100% change ratio alters edges within partitions; job at t=0 must still
   // see the base graph.
   store.CreateSnapshot(10, 1.0, 3);
-  LtpEngine engine(&store, TestOptions());
+  LtpEngine engine(&store, test_support::TestEngineOptions());
   const JobId old_job = engine.AddJob(std::make_unique<WccProgram>(), /*submit_time=*/0);
   const JobId new_job = engine.AddJob(std::make_unique<WccProgram>(), /*submit_time=*/10);
   engine.Run();
   const Graph base_graph = Graph::FromEdges(edges);
-  ExpectNear(engine.FinalValues(old_job), ReferenceWcc(base_graph), 0.0, "snapshot/old");
+  test_support::ExpectNearValues(engine.FinalValues(old_job), ReferenceWcc(base_graph), 0.0, "snapshot/old");
   // The new job ran on the rewired graph; just verify it converged to a valid labeling
   // (labels are min ids, so every label <= vertex id).
   for (size_t v = 0; v < 4; ++v) {

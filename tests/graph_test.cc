@@ -13,13 +13,12 @@
 #include "src/graph/graph.h"
 #include "src/graph/io.h"
 #include "src/graph/stats.h"
+#include "tests/testing/temp_files.h"
 
 namespace cgraph {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
-}
+using test_support::TempPath;
 
 TEST(EdgeListTest, AddGrowsUniverse) {
   EdgeList list;

@@ -17,18 +17,13 @@
 #include "src/graph/generators.h"
 #include "src/graph/graph.h"
 #include "src/partition/partitioned_graph.h"
+#include "tests/testing/graph_fixtures.h"
+#include "tests/testing/test_helpers.h"
 
 namespace cgraph {
 namespace {
 
-EngineOptions SmallCacheOptions() {
-  EngineOptions options;
-  options.num_workers = 4;
-  options.hierarchy.cache_capacity_bytes = 48ull << 10;
-  options.hierarchy.cache_segment_bytes = 4ull << 10;
-  options.hierarchy.memory_capacity_bytes = 64ull << 20;
-  return options;
-}
+EngineOptions SmallCacheOptions() { return test_support::TestEngineOptions(/*cache_kib=*/48); }
 
 struct MatrixCase {
   std::string executor;  // "ltp" or a baseline system name.
@@ -49,13 +44,7 @@ std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
 class ExecutorAlgorithmMatrixTest : public ::testing::TestWithParam<MatrixCase> {
  protected:
   static const EdgeList& Edges() {
-    static const EdgeList edges = [] {
-      RmatOptions rmat;
-      rmat.scale = 9;
-      rmat.edge_factor = 6;
-      rmat.seed = 99;
-      return GenerateRmat(rmat);
-    }();
+    static const EdgeList edges = test_support::FixedRmat(9, 6, 99);
     return edges;
   }
 
@@ -272,11 +261,7 @@ TEST(HashPartitioningTest, OutEdgesOfAVertexStayTogether) {
 TEST(CacheEconomicsTest, SharingGrowsWithJobCount) {
   // The paper's core claim (Figs. 18/19): CGraph's per-job data traffic falls as more
   // jobs share each load, while an individual-access system's per-job traffic does not.
-  RmatOptions rmat;
-  rmat.scale = 10;
-  rmat.edge_factor = 8;
-  rmat.seed = 21;
-  const EdgeList edges = GenerateRmat(rmat);
+  const EdgeList edges = test_support::FixedRmat(10, 8, 21);
   PartitionOptions popts;
   popts.num_partitions = 12;
   const PartitionedGraph pg = PartitionedGraphBuilder::Build(edges, popts);
@@ -297,11 +282,7 @@ TEST(CacheEconomicsTest, SharingGrowsWithJobCount) {
 }
 
 TEST(CacheEconomicsTest, CgraphMissRateDropsWithJobs) {
-  RmatOptions rmat;
-  rmat.scale = 10;
-  rmat.edge_factor = 8;
-  rmat.seed = 22;
-  const EdgeList edges = GenerateRmat(rmat);
+  const EdgeList edges = test_support::FixedRmat(10, 8, 22);
   PartitionOptions popts;
   popts.num_partitions = 12;
   const PartitionedGraph pg = PartitionedGraphBuilder::Build(edges, popts);

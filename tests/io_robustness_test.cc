@@ -11,27 +11,13 @@
 #include "src/common/prng.h"
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
+#include "tests/testing/temp_files.h"
 
 namespace cgraph {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
-}
-
-class ScopedFile {
- public:
-  ScopedFile(const std::string& name, const std::string& contents, bool binary = false)
-      : path_(TempPath(name)) {
-    std::ofstream out(path_, binary ? std::ios::binary : std::ios::out);
-    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  }
-  ~ScopedFile() { std::remove(path_.c_str()); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
+using test_support::ScopedFile;
+using test_support::TempPath;
 
 TEST(IoRobustnessTest, NegativeEndpointRejected) {
   ScopedFile f("neg.el", "0 1\n-3 4\n");

@@ -12,6 +12,7 @@
 #include "src/metrics/csv_writer.h"
 #include "src/metrics/run_report.h"
 #include "src/metrics/table_printer.h"
+#include "tests/testing/temp_files.h"
 
 namespace cgraph {
 namespace {
@@ -148,8 +149,7 @@ TEST(CsvWriterTest, ContainsHeaderAndTotalRow) {
 TEST(CsvWriterTest, RoundTripThroughFile) {
   const CostModel model = SimpleModel();
   const RunReport report = TwoJobReport();
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "cgraph_report.csv").string();
+  const std::string path = test_support::TempPath("cgraph_report.csv");
   ASSERT_TRUE(WriteRunReportCsv(report, model, path).ok());
   std::ifstream in(path);
   std::stringstream buffer;

@@ -12,25 +12,20 @@
 #include "src/graph/generators.h"
 #include "src/partition/partitioned_graph.h"
 #include "src/storage/snapshot_store.h"
+#include "tests/testing/graph_fixtures.h"
+#include "tests/testing/test_helpers.h"
 
 namespace cgraph {
 namespace {
 
 EngineOptions SmallOptions() {
-  EngineOptions options;
+  EngineOptions options = test_support::TestEngineOptions(/*cache_kib=*/48);
   options.num_workers = 2;
-  options.hierarchy.cache_capacity_bytes = 48ull << 10;
-  options.hierarchy.cache_segment_bytes = 4ull << 10;
-  options.hierarchy.memory_capacity_bytes = 64ull << 20;
   return options;
 }
 
 std::unique_ptr<SnapshotStore> MakeStore(double change_ratio, size_t snapshots) {
-  RmatOptions rmat;
-  rmat.scale = 10;
-  rmat.edge_factor = 8;
-  rmat.seed = 77;
-  const EdgeList edges = GenerateRmat(rmat);
+  const EdgeList edges = test_support::FixedRmat(10, 8, 77);
   PartitionOptions popts;
   popts.num_partitions = 10;
   auto store =

@@ -1,0 +1,68 @@
+#include "tests/testing/graph_fixtures.h"
+
+#include <utility>
+
+namespace cgraph {
+namespace test_support {
+
+GraphCase PathCase(VertexId n) { return {"path" + std::to_string(n), GeneratePath(n)}; }
+
+GraphCase CycleCase(VertexId n) { return {"ring" + std::to_string(n), GenerateRing(n)}; }
+
+GraphCase StarCase(VertexId n) { return {"star" + std::to_string(n), GenerateStar(n)}; }
+
+GraphCase GridCase(VertexId rows, VertexId cols) {
+  return {"grid" + std::to_string(rows) + "x" + std::to_string(cols), GenerateGrid(rows, cols)};
+}
+
+GraphCase CompleteCase(VertexId n) {
+  return {"complete" + std::to_string(n), GenerateComplete(n)};
+}
+
+GraphCase DisconnectedCase() {
+  EdgeList odd;
+  odd.Add(0, 1);
+  odd.Add(1, 0);
+  odd.Add(2, 2);
+  odd.Add(3, 4);
+  odd.set_num_vertices(8);
+  return {"disconnected", std::move(odd)};
+}
+
+GraphCase RandomCase(VertexId n, uint64_t m, uint64_t seed) {
+  return {"erdos" + std::to_string(n) + "m" + std::to_string(m) + "s" + std::to_string(seed),
+          GenerateErdosRenyi(n, m, seed)};
+}
+
+EdgeList FixedRmat(uint32_t scale, uint32_t edge_factor, uint64_t seed) {
+  RmatOptions rmat;
+  rmat.scale = scale;
+  rmat.edge_factor = edge_factor;
+  rmat.seed = seed;
+  return GenerateRmat(rmat);
+}
+
+GraphCase RmatCase(uint32_t scale, uint32_t edge_factor, uint64_t seed) {
+  return {"rmat" + std::to_string(scale) + "f" + std::to_string(edge_factor) + "s" +
+              std::to_string(seed),
+          FixedRmat(scale, edge_factor, seed)};
+}
+
+const std::vector<GraphCase>& StandardGraphCases() {
+  static const std::vector<GraphCase>* cases = [] {
+    auto* v = new std::vector<GraphCase>();
+    v->push_back(CycleCase(50));
+    v->push_back(PathCase(40));
+    v->push_back(StarCase(64));
+    v->push_back(GridCase(8, 8));
+    v->push_back(CompleteCase(12));
+    v->push_back(RmatCase(9, 8, 77));
+    v->push_back(RandomCase(400, 3000, 55));
+    v->push_back(DisconnectedCase());
+    return v;
+  }();
+  return *cases;
+}
+
+}  // namespace test_support
+}  // namespace cgraph

@@ -1,0 +1,53 @@
+// Shared graph fixtures for the test suites.
+//
+// Every generator here is deterministic: random cases take explicit seeds and the
+// structured cases are pure functions of their size arguments, so any two test
+// binaries (or two runs of one binary) that name the same case operate on the
+// identical edge list.
+
+#ifndef TESTS_TESTING_GRAPH_FIXTURES_H_
+#define TESTS_TESTING_GRAPH_FIXTURES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/graph/generators.h"
+
+namespace cgraph {
+namespace test_support {
+
+// A named graph, the unit the parameterized engine/baseline suites iterate over.
+struct GraphCase {
+  std::string name;
+  EdgeList edges;
+};
+
+// Individual shapes. Names encode the size so failure messages identify the case.
+GraphCase PathCase(VertexId n);
+GraphCase CycleCase(VertexId n);
+GraphCase StarCase(VertexId n);
+GraphCase GridCase(VertexId rows, VertexId cols);
+GraphCase CompleteCase(VertexId n);
+
+// Two 2-cycles, a self-loop, a dangling edge, and isolated vertices — exercises
+// disconnected components, zero-degree vertices, and self-loop handling.
+GraphCase DisconnectedCase();
+
+// Uniform G(n, m) with a fixed seed.
+GraphCase RandomCase(VertexId n, uint64_t m, uint64_t seed);
+
+// Skewed power-law R-MAT with a fixed seed.
+GraphCase RmatCase(uint32_t scale, uint32_t edge_factor, uint64_t seed);
+
+// Plain edge-list version of RmatCase for suites that need only the edges.
+EdgeList FixedRmat(uint32_t scale, uint32_t edge_factor, uint64_t seed);
+
+// The canonical family used by the engine-vs-reference parity suites: path,
+// cycle, star, grid, complete, R-MAT, Erdos-Renyi, and the disconnected case.
+const std::vector<GraphCase>& StandardGraphCases();
+
+}  // namespace test_support
+}  // namespace cgraph
+
+#endif  // TESTS_TESTING_GRAPH_FIXTURES_H_

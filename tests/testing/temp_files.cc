@@ -1,0 +1,60 @@
+#include "tests/testing/temp_files.h"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace cgraph {
+namespace test_support {
+
+namespace {
+
+int CurrentPid() {
+#ifdef _WIN32
+  return ::_getpid();
+#else
+  return ::getpid();
+#endif
+}
+
+// Owns the per-process temp directory; best-effort removal at process exit so
+// repeated runs don't accumulate cgraph-test-* directories.
+struct TempDirOwner {
+  std::filesystem::path dir;
+  TempDirOwner()
+      : dir(std::filesystem::temp_directory_path() /
+            ("cgraph-test-" + std::to_string(CurrentPid()))) {
+    std::filesystem::create_directories(dir);
+  }
+  ~TempDirOwner() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+}  // namespace
+
+std::string TempPath(const std::string& name) {
+  // Per-process subdirectory: concurrent runs of the same suite (e.g. ctest in
+  // two build trees) must not collide on fixed file names.
+  static TempDirOwner owner;
+  return (owner.dir / name).string();
+}
+
+ScopedFile::ScopedFile(const std::string& name, const std::string& contents, bool binary)
+    : path_(TempPath(name)) {
+  std::ofstream out(path_, binary ? std::ios::binary : std::ios::out);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+ScopedFile::~ScopedFile() { std::remove(path_.c_str()); }
+
+}  // namespace test_support
+}  // namespace cgraph

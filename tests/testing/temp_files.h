@@ -1,0 +1,33 @@
+// Temporary-file helpers shared by the I/O, metrics, and graph suites.
+
+#ifndef TESTS_TESTING_TEMP_FILES_H_
+#define TESTS_TESTING_TEMP_FILES_H_
+
+#include <string>
+
+namespace cgraph {
+namespace test_support {
+
+// Absolute path for `name` under the system temp directory.
+std::string TempPath(const std::string& name);
+
+// Writes `contents` to TempPath(name) on construction, removes it on
+// destruction.
+class ScopedFile {
+ public:
+  ScopedFile(const std::string& name, const std::string& contents, bool binary = false);
+  ~ScopedFile();
+
+  ScopedFile(const ScopedFile&) = delete;
+  ScopedFile& operator=(const ScopedFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace test_support
+}  // namespace cgraph
+
+#endif  // TESTS_TESTING_TEMP_FILES_H_

@@ -1,0 +1,33 @@
+#include "tests/testing/test_helpers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgraph {
+namespace test_support {
+
+EngineOptions TestEngineOptions(uint64_t cache_kib) {
+  EngineOptions options;
+  options.num_workers = 4;
+  options.hierarchy.cache_capacity_bytes = cache_kib << 10;
+  options.hierarchy.cache_segment_bytes = 4ull << 10;
+  options.hierarchy.memory_capacity_bytes = 64ull << 20;
+  return options;
+}
+
+void ExpectNearValues(const std::vector<double>& actual,
+                      const std::vector<double>& expected, double tolerance,
+                      const std::string& what) {
+  ASSERT_EQ(actual.size(), expected.size()) << what;
+  for (size_t v = 0; v < actual.size(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(actual[v])) << what << " vertex " << v;
+    } else {
+      EXPECT_NEAR(actual[v], expected[v], tolerance) << what << " vertex " << v;
+    }
+  }
+}
+
+}  // namespace test_support
+}  // namespace cgraph
