@@ -26,6 +26,9 @@ struct SyncRecord {
 
 class Job {
  public:
+  // Sentinel for "not admitted": the job holds no global-table slot.
+  static constexpr uint32_t kInvalidSlot = 0xFFFFFFFFu;
+
   Job(JobId id, std::unique_ptr<VertexProgram> program, Timestamp submit_time)
       : id_(id), program_(std::move(program)), submit_time_(submit_time) {}
 
@@ -37,8 +40,14 @@ class Job {
   PrivateTable& table() { return table_; }
   const PrivateTable& table() const { return table_; }
 
+  bool started() const { return started_; }
   bool finished() const { return finished_; }
   uint64_t iteration() const { return iteration_; }
+
+  // Global-table registration index while admitted (kInvalidSlot when queued or done).
+  // Distinct from id(): ids are unbounded, slots are bounded by EngineOptions::max_jobs
+  // and recycled as jobs complete.
+  uint32_t slot() const { return slot_; }
 
   JobStats& stats() { return stats_; }
   const JobStats& stats() const { return stats_; }
@@ -46,6 +55,10 @@ class Job {
  private:
   friend class LtpEngine;
   friend class BaselineExecutor;
+  friend class JobManager;
+  friend class LoadStage;
+  friend class TriggerStage;
+  friend class PushStage;
 
   JobId id_;
   std::unique_ptr<VertexProgram> program_;
@@ -53,11 +66,15 @@ class Job {
 
   PrivateTable table_;
   bool started_ = false;  // False until the engine admits the job (runtime arrival).
+  uint32_t slot_ = kInvalidSlot;
   // Per-partition activity for the job's *current* iteration.
   std::vector<DynamicBitset> active_;
   std::vector<uint32_t> active_count_;
   std::vector<bool> processed_;       // Partition handled in the current iteration?
   std::vector<bool> dirty_;           // Private partition touched since last Push?
+  // Fraction of each partition's vertices whose state changed at the previous iteration;
+  // feeds the scheduler's C(P) term.
+  std::vector<double> change_fraction_;
   uint32_t remaining_ = 0;            // Active partitions still to process this iteration.
   std::vector<SyncRecord> sync_buffer_;
   uint64_t iteration_ = 0;

@@ -1,0 +1,206 @@
+#include "src/core/job_manager.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/cache/cache_sim.h"
+#include "src/common/check.h"
+
+namespace cgraph {
+
+JobManager::JobManager(const PartitionedGraph& layout, GlobalTable* table,
+                       Scheduler* scheduler, const EngineOptions& options)
+    : layout_(layout), table_(table), scheduler_(scheduler), options_(options),
+      slot_jobs_(options.max_jobs, nullptr) {
+  CGRAPH_CHECK(table != nullptr);
+  CGRAPH_CHECK(scheduler != nullptr);
+  // Zero slots would livelock the drive loop: a due waiter could never be admitted.
+  CGRAPH_CHECK(options.max_jobs > 0);
+}
+
+JobId JobManager::Submit(std::unique_ptr<VertexProgram> program, Timestamp submit_time,
+                         uint64_t arrival_step) {
+  const JobId id = static_cast<JobId>(jobs_.size());
+  // Job ids double as per-job cache-item owners, which PackItemKey bounds to 16 bits with
+  // kSharedOwner reserved for the shared structure copy. Fail fast instead of silently
+  // aliasing accounting; lifting the cap means widening ItemKey's owner field.
+  CGRAPH_CHECK(id < kSharedOwner);
+  jobs_.push_back(std::make_unique<Job>(id, std::move(program), submit_time));
+  Job& job = *jobs_.back();
+  job.stats_.job_name = std::string(job.program().name());
+  // An arrival step in the past means "due now": clamp to the current step so the sorted
+  // insert cannot queue-jump earlier waiters that are already due (FIFO fairness).
+  arrival_step = std::max(arrival_step, current_step_);
+  // Stable insert keeps equal arrival steps in submission order.
+  auto it = std::upper_bound(waiting_.begin(), waiting_.end(), arrival_step,
+                             [](uint64_t step, const Waiter& w) { return step < w.arrival_step; });
+  waiting_.insert(it, Waiter{id, arrival_step});
+  return id;
+}
+
+void JobManager::AdmitDue(uint64_t step) {
+  current_step_ = std::max(current_step_, step);
+  // A job that finishes during InitJob (nothing initially active) frees its slot before
+  // the next loop round, so an arbitrarily long run of instantly-done waiters drains
+  // iteratively here rather than recursing.
+  while (!waiting_.empty() && waiting_.front().arrival_step <= step) {
+    Job& job = *jobs_[waiting_.front().job];
+    const uint32_t slot = AllocateSlot(job);
+    if (slot == Job::kInvalidSlot) {
+      return;  // At capacity: the due job (and everyone behind it) keeps waiting.
+    }
+    waiting_.pop_front();
+    InitJob(job, slot);
+  }
+}
+
+uint64_t JobManager::NextArrivalStep() const {
+  CGRAPH_CHECK(!waiting_.empty());
+  return waiting_.front().arrival_step;
+}
+
+uint32_t JobManager::AllocateSlot(const Job& job) {
+  // Prefer slot == id: in every legacy scenario (total jobs <= max_jobs) each job then
+  // lands on its own id even when an earlier job already finished, keeping registration
+  // bits — and hence RegisteredJobs order, rotation, and miss attribution — identical to
+  // the pre-layered engine. The fallback scan recycles freed slots for ids beyond the pool.
+  if (job.id_ < slot_jobs_.size() && slot_jobs_[job.id_] == nullptr) {
+    return job.id_;
+  }
+  for (uint32_t s = 0; s < slot_jobs_.size(); ++s) {
+    if (slot_jobs_[s] == nullptr) {
+      return s;
+    }
+  }
+  return Job::kInvalidSlot;
+}
+
+void JobManager::InitJob(Job& job, uint32_t slot) {
+  const PartitionedGraph& g = layout_;
+  job.started_ = true;
+  job.slot_ = slot;
+  slot_jobs_[slot] = &job;
+  ++running_;
+  job.table_ = PrivateTable(g);
+  job.active_.resize(g.num_partitions());
+  job.active_count_.assign(g.num_partitions(), 0);
+  job.processed_.assign(g.num_partitions(), false);
+  job.dirty_.assign(g.num_partitions(), false);
+  job.change_fraction_.assign(g.num_partitions(), 1.0);
+
+  const VertexProgram& program = job.program();
+  const double identity = AccIdentity(program.acc_kind());
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    const GraphPartition& part = g.partition(p);
+    auto states = job.table_.partition(p);
+    job.active_[p].Resize(part.num_local_vertices());
+    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+      states[v] = program.InitialState(part.vertex(v));
+      states[v].delta_next = identity;  // The accumulator must start at Acc's identity.
+    }
+  }
+  const uint64_t active = RefreshActivity(job, /*all_partitions=*/true, /*swap_buffers=*/false,
+                                          /*initial=*/true);
+  if (active == 0) {
+    FinalizeJob(job);  // The caller's admit loop picks up the freed slot.
+    // A job that never computed reports zero wall time (legacy engine behavior), not the
+    // engine uptime at its admission.
+    job.stats_.wall_seconds = 0.0;
+  }
+}
+
+uint64_t JobManager::RefreshActivity(Job& job, bool all_partitions, bool swap_buffers,
+                                     bool initial) {
+  const PartitionedGraph& g = layout_;
+  const VertexProgram& program = job.program();
+  const double identity = AccIdentity(program.acc_kind());
+  uint64_t total = 0;
+  job.remaining_ = 0;
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    if (!all_partitions && !job.dirty_[p]) {
+      // Untouched partition: previous activity stands. It is necessarily zero — every
+      // registered partition was processed (hence dirty) before Push ran.
+      CGRAPH_DCHECK(job.active_count_[p] == 0);
+      table_->Unregister(p, job.slot_);
+      continue;
+    }
+    const GraphPartition& part = g.partition(p);
+    auto states = job.table_.partition(p);
+    uint32_t count = 0;
+    job.active_[p].ClearAll();
+    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+      if (swap_buffers) {
+        states[v].delta = states[v].delta_next;
+        states[v].delta_next = identity;
+      }
+      const bool active = initial ? program.InitiallyActive(part.vertex(v), states[v])
+                                  : program.IsActive(states[v]);
+      if (active) {
+        job.active_[p].Set(v);
+        ++count;
+      }
+    }
+    job.active_count_[p] = count;
+    job.change_fraction_[p] =
+        part.num_local_vertices() == 0
+            ? 0.0
+            : static_cast<double>(count) / part.num_local_vertices();
+    scheduler_->SetStateChange(p, MeanStateChange(p));
+    job.dirty_[p] = false;
+    total += count;
+    if (count > 0) {
+      table_->Register(p, job.slot_);
+      ++job.remaining_;
+    } else {
+      // Keep registration exact even across repeated phase re-initializations.
+      table_->Unregister(p, job.slot_);
+    }
+  }
+  return total;
+}
+
+bool JobManager::MarkProcessed(Job& job, PartitionId p) {
+  job.processed_[p] = true;
+  job.dirty_[p] = true;
+  table_->Unregister(p, job.slot_);
+  CGRAPH_CHECK(job.remaining_ > 0);
+  --job.remaining_;
+  return job.remaining_ == 0;
+}
+
+void JobManager::FinalizeJob(Job& job) {
+  CGRAPH_CHECK(job.slot_ != Job::kInvalidSlot);
+  job.finished_ = true;
+  table_->UnregisterEverywhere(job.slot_);
+  job.remaining_ = 0;
+  job.stats_.wall_seconds = elapsed_seconds_;
+  slot_jobs_[job.slot_] = nullptr;
+  job.slot_ = Job::kInvalidSlot;
+  CGRAPH_CHECK(running_ > 0);
+  --running_;
+}
+
+void JobManager::FinishJob(Job& job) {
+  FinalizeJob(job);
+  // The freed slot admits the next due waiter immediately.
+  AdmitDue(current_step_);
+}
+
+double JobManager::MeanStateChange(PartitionId p) const {
+  // Slot scan, not job scan: the slot pool is bounded by max_jobs while jobs_ grows with
+  // every submission the service ever took. Occupied slots are exactly the started,
+  // unfinished jobs; ascending slot order keeps the float summation deterministic (and
+  // identical to the legacy id order whenever total jobs <= max_jobs).
+  double sum = 0.0;
+  uint32_t count = 0;
+  for (const Job* job : slot_jobs_) {
+    if (job != nullptr) {
+      sum += job->change_fraction_[p];
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace cgraph

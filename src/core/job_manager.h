@@ -1,0 +1,119 @@
+// Job-service admission layer: owns every job's lifecycle from submission to completion.
+//
+// The paper's LTP engine is a continuously running service that admits concurrent jobs at
+// runtime (section 3.4: "allows to add new jobs into SJobs at runtime"). The JobManager is
+// that admission layer, decoupled from the Load/Trigger/Push pipeline:
+//
+//   * Submission creates a Job with a stable, unbounded JobId. Jobs become *runnable* once
+//     their arrival step has come (immediately for plain Submit).
+//   * Admission binds a runnable job to a global-table *slot* — the registration bit index,
+//     bounded by EngineOptions::max_jobs. When all slots are busy the job waits in a FIFO
+//     queue instead of crashing; completion of any running job admits the next waiter.
+//     In every legacy scenario (total jobs <= max_jobs) slot == id, so admission order,
+//     registration bits, and hence the whole schedule are identical to the pre-layered
+//     engine.
+//   * All global-table registration (activation tracing) goes through the manager:
+//     RefreshActivity registers next-iteration partitions, MarkProcessed retires them,
+//     FinishJob clears every bit, frees the slot, and finalizes the job's stats — the
+//     per-job report is complete the moment the job completes, not at engine teardown.
+
+#ifndef SRC_CORE_JOB_MANAGER_H_
+#define SRC_CORE_JOB_MANAGER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/core/engine_options.h"
+#include "src/core/job.h"
+#include "src/core/scheduler.h"
+#include "src/partition/partitioned_graph.h"
+#include "src/storage/global_table.h"
+
+namespace cgraph {
+
+class JobManager {
+ public:
+  // `layout`, `table`, and `scheduler` are borrowed from the engine and must outlive this.
+  JobManager(const PartitionedGraph& layout, GlobalTable* table, Scheduler* scheduler,
+             const EngineOptions& options);
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  // Creates a job that becomes runnable once the engine reaches `arrival_step`. Never
+  // blocks and never rejects: jobs beyond the concurrency limit queue. Call AdmitDue() to
+  // start whatever can start.
+  JobId Submit(std::unique_ptr<VertexProgram> program, Timestamp submit_time,
+               uint64_t arrival_step);
+
+  // Admits waiting jobs in arrival order: a job starts once `step` has reached its arrival
+  // step and a slot is free. A due job with no free slot blocks later waiters (FIFO
+  // fairness keeps interleavings deterministic).
+  void AdmitDue(uint64_t step);
+
+  // True when no job is running and none is waiting.
+  bool AllIdle() const { return running_ == 0 && waiting_.empty(); }
+  bool HasWaiting() const { return !waiting_.empty(); }
+  // Smallest arrival step among waiting jobs; only meaningful when HasWaiting().
+  uint64_t NextArrivalStep() const;
+
+  size_t num_jobs() const { return jobs_.size(); }
+  Job& job(JobId id) { return *jobs_[id]; }
+  const Job& job(JobId id) const { return *jobs_[id]; }
+  // The running job holding `slot`, or nullptr.
+  Job* JobAtSlot(uint32_t slot) const { return slot_jobs_[slot]; }
+
+  // Activation tracing (paper section 3.2.2): recomputes the job's activity and
+  // next-iteration global-table registration. `swap_buffers` applies the delta
+  // double-buffer swap (post-Push); `all_partitions` sweeps everything instead of only
+  // dirty partitions; `initial` uses InitiallyActive. Returns the active-vertex total.
+  uint64_t RefreshActivity(Job& job, bool all_partitions, bool swap_buffers, bool initial);
+
+  // Marks partition p handled for the job's current iteration and retires its
+  // registration. Returns true when it was the last partition — the iteration boundary.
+  bool MarkProcessed(Job& job, PartitionId p);
+
+  // Completes the job: final stats (wall clock), registration teardown, slot release, and
+  // admission of the next waiter.
+  void FinishJob(Job& job);
+
+  // Mean change fraction of p over running jobs — C(P) of scheduler Eq. 1.
+  double MeanStateChange(PartitionId p) const;
+
+  // Engine-maintained clocks, consumed by FinishJob (stats) and slot-release admission.
+  void set_elapsed_seconds(double seconds) { elapsed_seconds_ = seconds; }
+  void set_current_step(uint64_t step) { current_step_ = step; }
+
+ private:
+  // Binds the job to `slot` and initializes its private table, activity, and first
+  // registrations. Jobs with no initially active vertex finalize immediately (the caller's
+  // admit loop reuses the freed slot; no recursion).
+  void InitJob(Job& job, uint32_t slot);
+  // Completion bookkeeping without follow-on admission: final stats, registration
+  // teardown, slot release.
+  void FinalizeJob(Job& job);
+  // A free slot for `job` — its own id when available (legacy bit-identity), else the
+  // smallest free one — or Job::kInvalidSlot when all are busy.
+  uint32_t AllocateSlot(const Job& job);
+
+  const PartitionedGraph& layout_;
+  GlobalTable* table_;
+  Scheduler* scheduler_;
+  EngineOptions options_;
+
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<Job*> slot_jobs_;        // slot -> running job (nullptr when free).
+  struct Waiter {
+    JobId job;
+    uint64_t arrival_step;
+  };
+  std::deque<Waiter> waiting_;         // Sorted by (arrival_step, submission order).
+  uint32_t running_ = 0;
+  double elapsed_seconds_ = 0.0;
+  uint64_t current_step_ = 0;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CORE_JOB_MANAGER_H_

@@ -1,0 +1,76 @@
+#include "src/core/load_stage.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace cgraph {
+
+LoadStage::LoadStage(const PartitionedGraph& layout, const SnapshotStore* snapshots,
+                     GlobalTable* table, Scheduler* scheduler, MemoryHierarchy* hierarchy,
+                     JobManager* manager, const EngineOptions& options)
+    : layout_(layout), snapshots_(snapshots), table_(table), scheduler_(scheduler),
+      hierarchy_(hierarchy), manager_(manager), options_(options) {}
+
+PartitionId LoadStage::PickNext(const std::vector<bool>& eligible) const {
+  return scheduler_->PickNext(*table_, eligible);
+}
+
+const GraphPartition& LoadStage::Resolve(PartitionId p, const Job& job,
+                                         uint32_t* version) const {
+  if (snapshots_ == nullptr) {
+    *version = 0;
+    return layout_.partition(p);
+  }
+  *version = snapshots_->ResolveVersionIndex(p, job.submit_time());
+  return snapshots_->Resolve(p, job.submit_time());
+}
+
+std::vector<LoadStage::VersionGroup> LoadStage::FormGroups(PartitionId p) {
+  std::vector<JobId> registered = table_->RegisteredJobs(p);  // Slot indices, ascending.
+  CGRAPH_CHECK(!registered.empty());
+  // Rotate the order by partition id so structure-miss attribution does not always fall
+  // on the lowest slot (the triggering job pays the miss; later jobs hit).
+  if (registered.size() > 1) {
+    std::rotate(registered.begin(),
+                registered.begin() + (p % registered.size()), registered.end());
+  }
+
+  std::vector<VersionGroup> groups;
+  for (const JobId slot : registered) {
+    Job* job = manager_->JobAtSlot(slot);
+    if (job == nullptr || job->finished_) {
+      table_->Unregister(p, slot);  // Defensive: stale bits must not stall the scheduler.
+      continue;
+    }
+    uint32_t version = 0;
+    const GraphPartition& structure = Resolve(p, *job, &version);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const VersionGroup& g) { return g.version == version; });
+    if (it == groups.end()) {
+      groups.push_back(VersionGroup{version, &structure, {job}});
+    } else {
+      it->jobs.push_back(job);
+    }
+  }
+  return groups;
+}
+
+void LoadStage::LoadStructure(PartitionId p, const VersionGroup& group) {
+  const GraphPartition& layout_part = layout_.partition(p);
+  const ItemKey structure_key{DataKind::kStructure, kSharedOwner, p, group.version};
+  for (Job* job : group.jobs) {
+    const uint32_t touched = ExpectedTouchedSegments(
+        group.structure->structure_bytes(), options_.hierarchy.cache_segment_bytes,
+        job->active_count_[p], layout_part.num_local_vertices());
+    job->stats_.charge += hierarchy_->AccessPrefix(
+        structure_key, group.structure->structure_bytes(), touched, /*pin=*/true);
+  }
+}
+
+void LoadStage::Release(PartitionId p, const VersionGroup& group) {
+  const ItemKey structure_key{DataKind::kStructure, kSharedOwner, p, group.version};
+  hierarchy_->UnpinItem(structure_key, group.structure->structure_bytes());
+}
+
+}  // namespace cgraph

@@ -1,102 +1,107 @@
 #include "src/core/ltp_engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <functional>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/timer.h"
-#include "src/runtime/parallel_for.h"
 
 namespace cgraph {
 
 LtpEngine::LtpEngine(const PartitionedGraph* graph, const EngineOptions& options)
-    : graph_(graph), options_(options) {
-  CGRAPH_CHECK(graph != nullptr);
-  hierarchy_ = std::make_unique<MemoryHierarchy>(options_.hierarchy);
-  global_table_ = std::make_unique<GlobalTable>(graph_->num_partitions(), options_.max_jobs);
-  scheduler_ =
-      std::make_unique<Scheduler>(*graph_, options_.use_scheduler, options_.theta_scale);
-  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
-}
+    : LtpEngine(options, graph, nullptr) {}
 
 LtpEngine::LtpEngine(const SnapshotStore* snapshots, const EngineOptions& options)
-    : snapshots_(snapshots), options_(options) {
-  CGRAPH_CHECK(snapshots != nullptr);
+    : LtpEngine(options, nullptr, snapshots) {}
+
+LtpEngine::LtpEngine(const EngineOptions& options, const PartitionedGraph* graph,
+                     const SnapshotStore* snapshots)
+    : graph_(graph), snapshots_(snapshots), options_(options) {
+  CGRAPH_CHECK(graph != nullptr || snapshots != nullptr);
+  const PartitionedGraph& base = layout();
   hierarchy_ = std::make_unique<MemoryHierarchy>(options_.hierarchy);
-  global_table_ =
-      std::make_unique<GlobalTable>(snapshots_->num_partitions(), options_.max_jobs);
-  scheduler_ = std::make_unique<Scheduler>(snapshots_->base(), options_.use_scheduler,
-                                           options_.theta_scale);
+  global_table_ = std::make_unique<GlobalTable>(base.num_partitions(), options_.max_jobs);
+  scheduler_ = std::make_unique<Scheduler>(base, options_.use_scheduler, options_.theta_scale);
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  manager_ = std::make_unique<JobManager>(base, global_table_.get(), scheduler_.get(),
+                                          options_);
+  push_ = std::make_unique<PushStage>(base, hierarchy_.get(), manager_.get(), options_);
+  load_ = std::make_unique<LoadStage>(base, snapshots_, global_table_.get(),
+                                      scheduler_.get(), hierarchy_.get(), manager_.get(),
+                                      options_);
+  trigger_ = std::make_unique<TriggerStage>(pool_.get(), hierarchy_.get(), options_);
+  eligible_.assign(base.num_partitions(), true);
 }
 
 const PartitionedGraph& LtpEngine::layout() const {
   return snapshots_ != nullptr ? snapshots_->base() : *graph_;
 }
 
-LtpEngine::ResolvedPartition LtpEngine::Resolve(PartitionId p, const Job& job) const {
-  if (snapshots_ == nullptr) {
-    return {&graph_->partition(p), 0};
-  }
-  return {&snapshots_->Resolve(p, job.submit_time()),
-          snapshots_->ResolveVersionIndex(p, job.submit_time())};
+LtpEngine::JobHandle LtpEngine::Submit(std::unique_ptr<VertexProgram> program,
+                                       Timestamp submit_time) {
+  // Arrival at the current step, not step 0: a later Submit must not queue-jump earlier
+  // capacity-blocked waiters whose arrival step already passed (FIFO admission).
+  const JobId id = manager_->Submit(std::move(program), submit_time, step_);
+  manager_->AdmitDue(step_);  // Starts now when a slot is free; queues otherwise.
+  return JobHandle(this, id);
+}
+
+LtpEngine::JobHandle LtpEngine::SubmitAt(std::unique_ptr<VertexProgram> program,
+                                         uint64_t arrival_step, Timestamp submit_time) {
+  const JobId id = manager_->Submit(std::move(program), submit_time, arrival_step);
+  return JobHandle(this, id);
 }
 
 JobId LtpEngine::AddJob(std::unique_ptr<VertexProgram> program, Timestamp submit_time) {
   CGRAPH_CHECK(!ran_);
-  CGRAPH_CHECK(jobs_.size() < options_.max_jobs);
-  const JobId id = static_cast<JobId>(jobs_.size());
-  jobs_.push_back(std::make_unique<Job>(id, std::move(program), submit_time));
-  Job& job = *jobs_.back();
-  job.stats_.job_name = std::string(job.program().name());
-  InitJob(job);
-  return id;
+  CGRAPH_CHECK(manager_->num_jobs() < options_.max_jobs);
+  return Submit(std::move(program), submit_time).id();
 }
 
 JobId LtpEngine::ScheduleJob(std::unique_ptr<VertexProgram> program, uint64_t arrival_step,
                              Timestamp submit_time) {
   CGRAPH_CHECK(!ran_);
-  CGRAPH_CHECK(jobs_.size() < options_.max_jobs);
-  const JobId id = static_cast<JobId>(jobs_.size());
-  jobs_.push_back(std::make_unique<Job>(id, std::move(program), submit_time));
-  Job& job = *jobs_.back();
-  job.stats_.job_name = std::string(job.program().name());
-  // Reserve the per-job scheduler bookkeeping now; state tables materialize on arrival.
-  change_fraction_.emplace_back(layout().num_partitions(), 0.0);
-  pending_.push_back(PendingArrival{id, arrival_step});
-  return id;
+  CGRAPH_CHECK(manager_->num_jobs() < options_.max_jobs);
+  return SubmitAt(std::move(program), arrival_step, submit_time).id();
 }
 
-void LtpEngine::InitJob(Job& job) {
-  const PartitionedGraph& g = layout();
-  job.started_ = true;
-  job.table_ = PrivateTable(g);
-  job.active_.resize(g.num_partitions());
-  job.active_count_.assign(g.num_partitions(), 0);
-  job.processed_.assign(g.num_partitions(), false);
-  job.dirty_.assign(g.num_partitions(), false);
-  if (change_fraction_.size() <= job.id()) {
-    change_fraction_.emplace_back(g.num_partitions(), 1.0);
-  } else {
-    change_fraction_[job.id()].assign(g.num_partitions(), 1.0);
-  }
-
-  const VertexProgram& program = job.program();
-  const double identity = AccIdentity(program.acc_kind());
-  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
-    const GraphPartition& part = g.partition(p);
-    auto states = job.table_.partition(p);
-    job.active_[p].Resize(part.num_local_vertices());
-    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
-      states[v] = program.InitialState(part.vertex(v));
-      states[v].delta_next = identity;  // The accumulator must start at Acc's identity.
+bool LtpEngine::Step() {
+  WallTimer timer;
+  // Jobs finishing during this step are stamped with the wall time accumulated *before*
+  // it, mirroring the original engine's per-step clock update.
+  manager_->set_elapsed_seconds(total_elapsed_);
+  for (;;) {
+    // Admit runtime arrivals whose step has come (paper section 3.4).
+    manager_->AdmitDue(step_);
+    const PartitionId p = load_->PickNext(eligible_);
+    if (p == kInvalidPartition) {
+      if (!manager_->HasWaiting()) {
+        return false;  // No job needs any partition and none is coming: idle.
+      }
+      // Idle until the next scheduled arrival. (A due-but-queued waiter is impossible
+      // here: with nothing registered there are no running jobs, so slots are free.)
+      step_ = std::max(step_, manager_->NextArrivalStep());
+      continue;
     }
+    ProcessPartition(p);
+    ++step_;
+    manager_->set_current_step(step_);
+    total_elapsed_ += timer.ElapsedSeconds();
+    return true;
   }
-  const uint64_t active = RefreshActivity(job, /*all_partitions=*/true, /*swap_buffers=*/false,
-                                          /*initial=*/true);
-  if (active == 0) {
-    job.finished_ = true;
+}
+
+void LtpEngine::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+void LtpEngine::Wait(JobId id) {
+  CGRAPH_CHECK(id < manager_->num_jobs());
+  while (!manager_->job(id).finished()) {
+    // A submitted job always becomes runnable eventually; running out of work with the
+    // job unfinished would be an admission bug.
+    CGRAPH_CHECK(Step());
   }
 }
 
@@ -106,45 +111,17 @@ RunReport LtpEngine::Run() {
   // The memory tier starts cold: every structure copy and private table streams in from
   // disk on first use. Systems that share one structure copy therefore pay the initial
   // load once, per-job-copy systems pay it per job — part of what Figs. 2/13/19 measure.
+  RunUntilIdle();
+  return Report();
+}
 
-  WallTimer timer;
-  std::sort(pending_.begin(), pending_.end(),
-            [](const PendingArrival& a, const PendingArrival& b) {
-              return a.arrival_step < b.arrival_step;
-            });
-  size_t next_pending = 0;
-  std::vector<bool> eligible(layout().num_partitions(), true);
-  while (true) {
-    // Admit runtime arrivals whose step has come (paper section 3.4).
-    while (next_pending < pending_.size() &&
-           pending_[next_pending].arrival_step <= step_) {
-      InitJob(*jobs_[pending_[next_pending].job]);
-      ++next_pending;
-    }
-    const PartitionId p = scheduler_->PickNext(*global_table_, eligible);
-    if (p == kInvalidPartition) {
-      if (next_pending < pending_.size()) {
-        // Idle until the next arrival.
-        step_ = pending_[next_pending].arrival_step;
-        continue;
-      }
-      break;  // No job needs any partition: everything converged.
-    }
-    run_elapsed_ = timer.ElapsedSeconds();
-    ProcessPartition(p);
-    ++step_;
-  }
-  run_elapsed_ = timer.ElapsedSeconds();
-
+RunReport LtpEngine::Report() const {
   RunReport report;
-  report.executor_name = "cgraph-ltp";
-  if (!options_.use_scheduler) {
-    report.executor_name = "cgraph-without";
-  }
+  report.executor_name = options_.use_scheduler ? "cgraph-ltp" : "cgraph-without";
   report.workers = options_.num_workers;
-  report.wall_seconds = run_elapsed_;
-  for (const auto& job : jobs_) {
-    report.jobs.push_back(job->stats());
+  report.wall_seconds = total_elapsed_;
+  for (JobId id = 0; id < manager_->num_jobs(); ++id) {
+    report.jobs.push_back(manager_->job(id).stats());
   }
   report.cache = hierarchy_->cache().stats();
   report.memory = hierarchy_->memory().stats();
@@ -152,350 +129,26 @@ RunReport LtpEngine::Run() {
 }
 
 void LtpEngine::ProcessPartition(PartitionId p) {
-  // Jobs registered for p, grouped by resolved structure version so that snapshot-sharing
-  // jobs are triggered off the same load.
-  std::vector<JobId> registered = global_table_->RegisteredJobs(p);
-  CGRAPH_CHECK(!registered.empty());
-  // Rotate the order by partition id so structure-miss attribution does not always fall
-  // on the lowest job id (the triggering job pays the miss; later jobs hit).
-  if (registered.size() > 1) {
-    std::rotate(registered.begin(),
-                registered.begin() + (p % registered.size()), registered.end());
-  }
-
-  // version -> jobs needing that version, in rotated order.
-  std::vector<std::pair<uint32_t, std::vector<Job*>>> groups;
-  for (JobId id : registered) {
-    Job* job = jobs_[id].get();
-    if (job->finished_) {
-      global_table_->Unregister(p, id);
-      continue;
-    }
-    const ResolvedPartition resolved = Resolve(p, *job);
-    auto it = std::find_if(groups.begin(), groups.end(),
-                           [&](const auto& g) { return g.first == resolved.version; });
-    if (it == groups.end()) {
-      groups.push_back({resolved.version, {job}});
-    } else {
-      it->second.push_back(job);
-    }
-  }
-
-  const GraphPartition& layout_part = layout().partition(p);
-  for (auto& [version, group_jobs] : groups) {
-    const GraphPartition* part = nullptr;
-    {
-      const ResolvedPartition resolved = Resolve(p, *group_jobs.front());
-      part = resolved.data;
-    }
-    const ItemKey structure_key{DataKind::kStructure, kSharedOwner, p, version};
-
-    // Load stage: every triggered job reads the shared structure; the first access brings
-    // it in (miss), the rest hit. Pinned so private-table rotation cannot evict it
-    // mid-group (section 3.2.3's batching rule). Each job touches only the segments
-    // expected to hold its active vertices (selective loading, section 3.2.2).
-    for (Job* job : group_jobs) {
-      const uint32_t touched = ExpectedTouchedSegments(
-          part->structure_bytes(), options_.hierarchy.cache_segment_bytes,
-          job->active_count_[p], layout_part.num_local_vertices());
-      job->stats_.charge += hierarchy_->AccessPrefix(structure_key, part->structure_bytes(),
-                                                     touched, /*pin=*/true);
-    }
-
-    // Trigger stage, in batches of at most num_workers jobs.
-    const size_t batch_size = std::max<size_t>(1, options_.num_workers);
-    for (size_t begin = 0; begin < group_jobs.size(); begin += batch_size) {
-      const size_t end = std::min(group_jobs.size(), begin + batch_size);
-      std::vector<Job*> batch(group_jobs.begin() + begin, group_jobs.begin() + end);
-      for (Job* job : batch) {
-        const ItemKey private_key{DataKind::kPrivate, job->id(), p, 0};
-        job->stats_.charge +=
-            hierarchy_->Access(private_key, job->table().partition_bytes(p), /*pin=*/false);
-      }
-      TriggerBatch(p, *part, batch);
-    }
-    hierarchy_->UnpinItem(structure_key, part->structure_bytes());
-
-    // Post-trigger bookkeeping per job: buffer mirror deltas, mark progress, and push at
-    // the job's iteration boundary.
-    for (Job* job : group_jobs) {
-      CollectMirrorRecords(*job, p, layout_part);
-      job->processed_[p] = true;
-      job->dirty_[p] = true;
-      global_table_->Unregister(p, job->id());
-      CGRAPH_CHECK(job->remaining_ > 0);
-      --job->remaining_;
-      if (job->remaining_ == 0) {
-        PushJob(*job);
+  // Load: group the partition's registered jobs by resolved structure version so that
+  // snapshot-sharing jobs are triggered off the same load.
+  std::vector<LoadStage::VersionGroup> groups = load_->FormGroups(p);
+  for (LoadStage::VersionGroup& group : groups) {
+    load_->LoadStructure(p, group);
+    // Trigger: process the pinned structure for every job in the group.
+    trigger_->Run(p, *group.structure, group.jobs);
+    load_->Release(p, group);
+    // Push: per-job iteration bookkeeping; a job whose iteration completed pushes now.
+    for (Job* job : group.jobs) {
+      push_->CollectMirrorRecords(*job, p);
+      if (manager_->MarkProcessed(*job, p)) {
+        push_->Push(*job);
       }
     }
   }
-}
-
-void LtpEngine::TriggerBatch(PartitionId p, const GraphPartition& part,
-                             const std::vector<Job*>& batch) {
-  struct JobTask {
-    Job* job;
-    std::shared_ptr<std::atomic<size_t>> cursor;
-  };
-  std::vector<JobTask> job_tasks;
-  job_tasks.reserve(batch.size());
-  for (Job* job : batch) {
-    job_tasks.push_back({job, std::make_shared<std::atomic<size_t>>(0)});
-  }
-
-  const size_t n = part.num_local_vertices();
-  const size_t grain = std::max<uint32_t>(1, options_.chunk_grain);
-  auto process_range = [&part, p](Job* job, size_t begin, size_t end) {
-    auto states = job->table().partition(p);
-    ScatterOps ops(job->program().acc_kind(), states);
-    uint64_t vertex_computes = 0;
-    const DynamicBitset& active = job->active_[p];
-    for (size_t v = begin; v < end; ++v) {
-      if (active.Test(v)) {
-        job->program().Compute(part, static_cast<LocalVertexId>(v), states, ops);
-        ++vertex_computes;
-      }
-    }
-    // Flush counters with atomic adds: several workers may finish chunks of the same job
-    // concurrently.
-    std::atomic_ref<uint64_t>(job->stats_.vertex_computes)
-        .fetch_add(vertex_computes, std::memory_order_relaxed);
-    std::atomic_ref<uint64_t>(job->stats_.edge_traversals)
-        .fetch_add(ops.edge_traversals(), std::memory_order_relaxed);
-    std::atomic_ref<uint64_t>(job->stats_.compute_units)
-        .fetch_add(vertex_computes + ops.edge_traversals(), std::memory_order_relaxed);
-  };
-
-  std::vector<std::function<void()>> tasks;
-  if (options_.straggler_split) {
-    // Every worker can steal chunks of any job in the batch: the straggler's remaining
-    // vertices are consumed by whichever cores come free (Fig. 6).
-    for (const JobTask& jt : job_tasks) {
-      const size_t tasks_for_job = std::min<size_t>(options_.num_workers, (n + grain - 1) / std::max<size_t>(grain, 1) + 1);
-      for (size_t t = 0; t < tasks_for_job; ++t) {
-        tasks.push_back([jt, n, grain, &process_range] {
-          while (true) {
-            const size_t begin = jt.cursor->fetch_add(grain, std::memory_order_relaxed);
-            if (begin >= n) {
-              return;
-            }
-            process_range(jt.job, begin, std::min(begin + grain, n));
-          }
-        });
-      }
-    }
-  } else {
-    // Ablation: one task per job — a skewed job becomes the straggler.
-    for (const JobTask& jt : job_tasks) {
-      tasks.push_back([jt, n, &process_range] { process_range(jt.job, 0, n); });
-    }
-  }
-  pool_->RunAndWait(std::move(tasks));
-}
-
-void LtpEngine::CollectMirrorRecords(Job& job, PartitionId p,
-                                     const GraphPartition& layout_part) {
-  const double identity = AccIdentity(job.program().acc_kind());
-  auto states = job.table_.partition(p);
-  for (LocalVertexId v = 0; v < layout_part.num_local_vertices(); ++v) {
-    const LocalVertexInfo& info = layout_part.vertex(v);
-    if (info.is_master) {
-      continue;  // Masters keep their accumulation in place.
-    }
-    if (states[v].delta_next != identity) {
-      job.sync_buffer_.push_back(
-          SyncRecord{info.master_partition, info.master_local, states[v].delta_next});
-      // The mirror's contribution now lives in the buffer; clear the slot so the
-      // broadcast phase can overwrite it with the merged value.
-      states[v].delta_next = identity;
-    }
-  }
-}
-
-void LtpEngine::PushJob(Job& job) {
-  const PartitionedGraph& g = layout();
-  const AccKind kind = job.program().acc_kind();
-  const double identity = AccIdentity(kind);
-
-  // Phase 1 (Algorithm 2, SortD + merge): mirror deltas, sorted by master partition, are
-  // Acc-merged into master delta_next slots. Sorting makes the updates successive per
-  // private partition, which is why we charge one private-partition access per distinct
-  // destination partition (in the swap sweep below) rather than one per record.
-  std::sort(job.sync_buffer_.begin(), job.sync_buffer_.end(),
-            [](const SyncRecord& a, const SyncRecord& b) {
-              if (a.partition != b.partition) {
-                return a.partition < b.partition;
-              }
-              return a.local < b.local;
-            });
-  for (const SyncRecord& rec : job.sync_buffer_) {
-    auto states = job.table_.partition(rec.partition);
-    states[rec.local].delta_next = AccApply(kind, states[rec.local].delta_next, rec.delta);
-    job.dirty_[rec.partition] = true;
-  }
-  job.stats_.push_updates += job.sync_buffer_.size();
-  job.sync_buffer_.clear();
-
-  // Phase 2 (SortS + broadcast): merged master values are pushed back to mirrors so every
-  // replica agrees on next iteration's delta (and hence on activity and value updates).
-  std::vector<SyncRecord> broadcast;
-  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
-    if (!job.dirty_[p]) {
-      continue;
-    }
-    const GraphPartition& part = g.partition(p);
-    auto states = job.table_.partition(p);
-    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
-      const LocalVertexInfo& info = part.vertex(v);
-      if (!info.is_master || states[v].delta_next == identity) {
-        continue;
-      }
-      for (const ReplicaRef& ref : part.mirrors_of(v)) {
-        broadcast.push_back(SyncRecord{ref.partition, ref.local, states[v].delta_next});
-      }
-    }
-  }
-  std::sort(broadcast.begin(), broadcast.end(), [](const SyncRecord& a, const SyncRecord& b) {
-    if (a.partition != b.partition) {
-      return a.partition < b.partition;
-    }
-    return a.local < b.local;
-  });
-  for (const SyncRecord& rec : broadcast) {
-    auto states = job.table_.partition(rec.partition);
-    states[rec.local].delta_next = rec.delta;  // Replace: mirror contribution was merged.
-    job.dirty_[rec.partition] = true;
-  }
-  job.stats_.push_updates += broadcast.size();
-
-  // Phase 3: swap the double buffer on dirty partitions, recompute activity, and charge
-  // the batched private-table accesses of the whole push.
-  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
-    if (job.dirty_[p]) {
-      const ItemKey private_key{DataKind::kPrivate, job.id(), p, 0};
-      job.stats_.charge +=
-          hierarchy_->Access(private_key, job.table_.partition_bytes(p), /*pin=*/false);
-    }
-  }
-  const uint64_t active_total = RefreshActivity(job, /*all_partitions=*/false,
-                                                /*swap_buffers=*/true, /*initial=*/false);
-
-  ++job.iteration_;
-  job.stats_.iterations = job.iteration_;
-  std::fill(job.processed_.begin(), job.processed_.end(), false);
-
-  // Iteration-boundary protocol with the program (possibly multi-phase).
-  bool registered = false;
-  uint64_t active_now = active_total;
-  for (int guard = 0; guard < 1024; ++guard) {
-    VertexProgram::IterationContext context;
-    context.any_active = active_now > 0;
-    context.iteration = job.iteration_;
-    context.table = &job.table_;
-    context.layout = &g;
-    const auto action = job.program().OnIterationEnd(context);
-    if (action == VertexProgram::IterationAction::kFinished) {
-      FinishJob(job);
-      return;
-    }
-    if (action == VertexProgram::IterationAction::kContinue) {
-      if (active_now == 0 || job.iteration_ >= options_.max_iterations_per_job) {
-        FinishJob(job);
-        return;
-      }
-      registered = true;
-      break;
-    }
-    // kNewPhase: re-initialize every vertex state and re-derive activity. Charged as a
-    // full private-table sweep.
-    for (PartitionId p = 0; p < g.num_partitions(); ++p) {
-      const GraphPartition& part = g.partition(p);
-      auto states = job.table_.partition(p);
-      for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
-        job.program().ReinitVertex(part.vertex(v), states[v]);
-      }
-      const ItemKey private_key{DataKind::kPrivate, job.id(), p, 0};
-      job.stats_.charge +=
-          hierarchy_->Access(private_key, job.table_.partition_bytes(p), /*pin=*/false);
-    }
-    active_now = RefreshActivity(job, /*all_partitions=*/true, /*swap_buffers=*/false,
-                                 /*initial=*/false);
-  }
-  CGRAPH_CHECK(registered);
-}
-
-uint64_t LtpEngine::RefreshActivity(Job& job, bool all_partitions, bool swap_buffers,
-                                    bool initial) {
-  const PartitionedGraph& g = layout();
-  const VertexProgram& program = job.program();
-  const double identity = AccIdentity(program.acc_kind());
-  uint64_t total = 0;
-  job.remaining_ = 0;
-  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
-    if (!all_partitions && !job.dirty_[p]) {
-      // Untouched partition: previous activity stands. It is necessarily zero — every
-      // registered partition was processed (hence dirty) before Push ran.
-      CGRAPH_DCHECK(job.active_count_[p] == 0);
-      global_table_->Unregister(p, job.id());
-      continue;
-    }
-    const GraphPartition& part = g.partition(p);
-    auto states = job.table_.partition(p);
-    uint32_t count = 0;
-    job.active_[p].ClearAll();
-    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
-      if (swap_buffers) {
-        states[v].delta = states[v].delta_next;
-        states[v].delta_next = identity;
-      }
-      const bool active = initial ? program.InitiallyActive(part.vertex(v), states[v])
-                                  : program.IsActive(states[v]);
-      if (active) {
-        job.active_[p].Set(v);
-        ++count;
-      }
-    }
-    job.active_count_[p] = count;
-    change_fraction_[job.id()][p] =
-        part.num_local_vertices() == 0
-            ? 0.0
-            : static_cast<double>(count) / part.num_local_vertices();
-    scheduler_->SetStateChange(p, MeanChangeFraction(p));
-    job.dirty_[p] = false;
-    total += count;
-    if (count > 0) {
-      global_table_->Register(p, job.id());
-      ++job.remaining_;
-    } else {
-      // Keep registration exact even across repeated phase re-initializations.
-      global_table_->Unregister(p, job.id());
-    }
-  }
-  return total;
-}
-
-void LtpEngine::FinishJob(Job& job) {
-  job.finished_ = true;
-  global_table_->UnregisterEverywhere(job.id());
-  job.remaining_ = 0;
-  job.stats_.wall_seconds = run_elapsed_;
-}
-
-double LtpEngine::MeanChangeFraction(PartitionId p) const {
-  double sum = 0.0;
-  uint32_t count = 0;
-  for (const auto& job : jobs_) {
-    if (job->started_ && !job->finished_) {
-      sum += change_fraction_[job->id()][p];
-      ++count;
-    }
-  }
-  return count == 0 ? 0.0 : sum / count;
 }
 
 std::vector<double> LtpEngine::FinalValues(JobId id) const {
-  const Job& job = *jobs_[id];
+  const Job& job = manager_->job(id);
   const PartitionedGraph& g = layout();
   std::vector<double> values(g.num_vertices(), 0.0);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -506,7 +159,7 @@ std::vector<double> LtpEngine::FinalValues(JobId id) const {
 }
 
 std::vector<double> LtpEngine::FinalAux(JobId id) const {
-  const Job& job = *jobs_[id];
+  const Job& job = manager_->job(id);
   const PartitionedGraph& g = layout();
   std::vector<double> values(g.num_vertices(), 0.0);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {

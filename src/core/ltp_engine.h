@@ -1,22 +1,26 @@
 // The data-centric Load-Trigger-Pushing (LTP) execution engine — the paper's core
-// contribution (sections 3.1, 3.2, 3.4; Algorithms 1-3).
+// contribution (sections 3.1, 3.2, 3.4; Algorithms 1-3) — as a layered job service.
 //
-// Per scheduling step the engine:
-//   Load    — picks the highest-priority partition still needed by some job this
-//             iteration and charges one shared structure access (pinned) plus each
-//             triggered job's private-partition access to the simulated hierarchy;
-//   Trigger — processes the partition for *all* registered jobs concurrently (batched by
-//             worker count; job batches rotate private tables while the structure stays
-//             pinned; straggler splitting balances skewed jobs across free cores);
-//   Push    — when a job has handled all its active partitions, its buffered mirror
-//             deltas are merged into masters (sorted by destination partition), merged
-//             values broadcast back to mirrors (sorted again), the delta double-buffer is
-//             swapped, and the next iteration's partitions are registered in the global
-//             table (activation tracing).
+// The engine composes four runtime layers, each in its own translation unit:
 //
-// Jobs advance through their own iterations independently — BFS may touch three
-// partitions per iteration while PageRank sweeps all of them — yet all structure loads
-// are shared through the common loading order.
+//   JobManager    — job lifecycle: submission, admission (a bounded slot pool with a FIFO
+//                   waiting queue instead of a hard capacity crash), activation-tracing
+//                   registration, and per-job report finalization at completion;
+//   LoadStage     — scheduler pick, snapshot-version resolve, shared-structure charging;
+//   TriggerStage  — per-partition concurrent triggering of all registered jobs (job
+//                   batches rotate private tables while the structure stays pinned;
+//                   straggler splitting balances skewed jobs across free cores);
+//   PushStage     — mirror-delta merge/broadcast, buffer swap, activity refresh, and the
+//                   iteration-boundary protocol with the vertex program.
+//
+// The service API admits jobs online: Submit() hands back a JobHandle immediately, Step()
+// executes one partition-scheduling step, RunUntilIdle() drains all runnable work, and
+// Wait() drives until a specific job completes. New jobs may be submitted between steps or
+// after the engine went idle — the paper's "allows to add new jobs into SJobs at runtime"
+// (section 3.4). Everything is deterministic and thread-free at this level (workers
+// parallelize only within a trigger), so arrival interleavings are reproducible in tests.
+//
+// Run() survives as a one-shot batch wrapper over Submit/RunUntilIdle for legacy callers.
 //
 // When constructed over a SnapshotStore, each job binds to the newest snapshot not newer
 // than its submit time; jobs on different snapshots still share every unchanged partition
@@ -29,9 +33,14 @@
 #include <vector>
 
 #include "src/cache/memory_hierarchy.h"
+#include "src/common/check.h"
 #include "src/core/engine_options.h"
 #include "src/core/job.h"
+#include "src/core/job_manager.h"
+#include "src/core/load_stage.h"
+#include "src/core/push_stage.h"
 #include "src/core/scheduler.h"
+#include "src/core/trigger_stage.h"
 #include "src/core/vertex_program.h"
 #include "src/metrics/run_report.h"
 #include "src/partition/partitioned_graph.h"
@@ -43,6 +52,23 @@ namespace cgraph {
 
 class LtpEngine {
  public:
+  // Lightweight reference to a submitted job; valid as long as the engine lives.
+  class JobHandle {
+   public:
+    JobHandle() = default;
+    JobId id() const { return id_; }
+    bool valid() const { return engine_ != nullptr; }
+    inline bool done() const;
+    inline const JobStats& stats() const;
+    inline void Wait() const;
+
+   private:
+    friend class LtpEngine;
+    JobHandle(LtpEngine* engine, JobId id) : engine_(engine), id_(id) {}
+    LtpEngine* engine_ = nullptr;
+    JobId id_ = kInvalidJob;
+  };
+
   // Single-snapshot engine over a prepartitioned graph (not owned; must outlive this).
   LtpEngine(const PartitionedGraph* graph, const EngineOptions& options);
 
@@ -52,53 +78,72 @@ class LtpEngine {
   LtpEngine(const LtpEngine&) = delete;
   LtpEngine& operator=(const LtpEngine&) = delete;
 
-  // Registers a job. `submit_time` selects the snapshot (ignored without a store).
-  // Must be called before Run().
+  // --- Service API -----------------------------------------------------------------
+
+  // Submits a job for online execution. `submit_time` selects the snapshot (ignored
+  // without a store). The job starts immediately if a concurrency slot is free, otherwise
+  // it queues and starts when one frees up. Callable at any point in the engine's life.
+  JobHandle Submit(std::unique_ptr<VertexProgram> program, Timestamp submit_time = 0);
+
+  // Like Submit(), but the job becomes runnable only once `arrival_step` partition-
+  // scheduling steps have executed (deterministic arrival injection).
+  JobHandle SubmitAt(std::unique_ptr<VertexProgram> program, uint64_t arrival_step,
+                     Timestamp submit_time = 0);
+
+  // Executes one partition-scheduling step: admits due arrivals, loads the highest-
+  // priority partition, triggers its jobs, and pushes any finished iterations. Fast-
+  // forwards over idle gaps to the next scheduled arrival. Returns false when the engine
+  // is idle (no running and no waiting jobs).
+  bool Step();
+
+  // Drives Step() until the engine is idle.
+  void RunUntilIdle();
+
+  // Drives the engine until job `id` completes.
+  void Wait(JobId id);
+
+  // Point-in-time report over all jobs submitted so far. Per-job stats are final once the
+  // job completed; hierarchy totals cover everything executed so far.
+  RunReport Report() const;
+
+  // Partition-scheduling steps executed so far.
+  uint64_t current_step() const { return step_; }
+
+  // --- Legacy batch API ------------------------------------------------------------
+
+  // Registers a job. Must be called before Run(); admission beyond max_jobs is a
+  // programmer error here (Submit() queues instead).
   JobId AddJob(std::unique_ptr<VertexProgram> program, Timestamp submit_time = 0);
 
-  // Schedules a job to arrive while the engine runs, after `arrival_step` partition-
-  // scheduling steps (the paper's "allows to add new jobs into SJobs at runtime",
-  // section 3.4). The newcomer registers its first-iteration partitions and is triggered
-  // alongside the jobs already executing from then on. Deterministic and thread-free so
-  // arrival interleavings are reproducible in tests.
+  // Schedules a job to arrive after `arrival_step` steps (paper section 3.4). Must be
+  // called before Run().
   JobId ScheduleJob(std::unique_ptr<VertexProgram> program, uint64_t arrival_step,
                     Timestamp submit_time = 0);
 
-  // Executes every job to convergence and returns the measured report.
+  // One-shot batch wrapper: executes every job to convergence and returns the report.
   RunReport Run();
 
-  size_t num_jobs() const { return jobs_.size(); }
-  const Job& job(JobId id) const { return *jobs_[id]; }
+  size_t num_jobs() const { return manager_->num_jobs(); }
+  const Job& job(JobId id) const { return manager_->job(id); }
   const MemoryHierarchy& hierarchy() const { return *hierarchy_; }
   const EngineOptions& options() const { return options_; }
 
-  // Post-run readback: value/aux of every global vertex, taken from master replicas.
+  // Readback once a job finished: value/aux of every global vertex, from master replicas.
   std::vector<double> FinalValues(JobId id) const;
   std::vector<double> FinalAux(JobId id) const;
 
  private:
-  struct ResolvedPartition {
-    const GraphPartition* data;
-    uint32_t version;
-  };
+  // Shared constructor target: both public constructors delegate here and differ only in
+  // which of `graph` / `snapshots` is set.
+  LtpEngine(const EngineOptions& options, const PartitionedGraph* graph,
+            const SnapshotStore* snapshots);
 
   // The partition layout (vertex membership / replica routing), identical across
   // snapshot versions.
   const PartitionedGraph& layout() const;
 
-  ResolvedPartition Resolve(PartitionId p, const Job& job) const;
-
-  void InitJob(Job& job);
+  // Load -> Trigger -> Push for one picked partition.
   void ProcessPartition(PartitionId p);
-  void TriggerBatch(PartitionId p, const GraphPartition& part, const std::vector<Job*>& batch);
-  void CollectMirrorRecords(Job& job, PartitionId p, const GraphPartition& layout_part);
-  void PushJob(Job& job);
-  // Recomputes job's activity and next-iteration registration. `swap_buffers` applies the
-  // delta double-buffer swap (post-Push); `all_partitions` sweeps everything instead of
-  // only dirty partitions; `initial` uses InitiallyActive. Returns the active total.
-  uint64_t RefreshActivity(Job& job, bool all_partitions, bool swap_buffers, bool initial);
-  void FinishJob(Job& job);
-  double MeanChangeFraction(PartitionId p) const;
 
   const PartitionedGraph* graph_ = nullptr;
   const SnapshotStore* snapshots_ = nullptr;
@@ -108,19 +153,29 @@ class LtpEngine {
   std::unique_ptr<GlobalTable> global_table_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<ThreadPool> pool_;
-  std::vector<std::unique_ptr<Job>> jobs_;
-  struct PendingArrival {
-    JobId job;
-    uint64_t arrival_step;
-  };
-  std::vector<PendingArrival> pending_;  // Sorted by arrival_step at Run() start.
-  uint64_t step_ = 0;                    // Partition-scheduling steps executed.
-  // change_fraction_[job][partition]: fraction of vertices whose state changed at the
-  // job's previous iteration; feeds C(P).
-  std::vector<std::vector<double>> change_fraction_;
-  double run_elapsed_ = 0.0;
-  bool ran_ = false;
+  std::unique_ptr<JobManager> manager_;
+  std::unique_ptr<PushStage> push_;
+  std::unique_ptr<LoadStage> load_;
+  std::unique_ptr<TriggerStage> trigger_;
+
+  std::vector<bool> eligible_;  // Per-partition scheduling eligibility (currently all).
+  uint64_t step_ = 0;           // Partition-scheduling steps executed.
+  double total_elapsed_ = 0.0;  // Wall seconds spent inside Step() so far.
+  bool ran_ = false;            // Legacy Run() called (guards the one-shot contract).
 };
+
+inline bool LtpEngine::JobHandle::done() const {
+  CGRAPH_CHECK(valid());
+  return engine_->job(id_).finished();
+}
+inline const JobStats& LtpEngine::JobHandle::stats() const {
+  CGRAPH_CHECK(valid());
+  return engine_->job(id_).stats();
+}
+inline void LtpEngine::JobHandle::Wait() const {
+  CGRAPH_CHECK(valid());
+  engine_->Wait(id_);
+}
 
 }  // namespace cgraph
 

@@ -1,0 +1,150 @@
+#include "src/core/push_stage.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/core/vertex_program.h"
+
+namespace cgraph {
+
+PushStage::PushStage(const PartitionedGraph& layout, MemoryHierarchy* hierarchy,
+                     JobManager* manager, const EngineOptions& options)
+    : layout_(layout), hierarchy_(hierarchy), manager_(manager), options_(options) {
+  CGRAPH_CHECK(hierarchy != nullptr);
+  CGRAPH_CHECK(manager != nullptr);
+}
+
+void PushStage::CollectMirrorRecords(Job& job, PartitionId p) {
+  const GraphPartition& layout_part = layout_.partition(p);
+  const double identity = AccIdentity(job.program().acc_kind());
+  auto states = job.table_.partition(p);
+  for (LocalVertexId v = 0; v < layout_part.num_local_vertices(); ++v) {
+    const LocalVertexInfo& info = layout_part.vertex(v);
+    if (info.is_master) {
+      continue;  // Masters keep their accumulation in place.
+    }
+    if (states[v].delta_next != identity) {
+      job.sync_buffer_.push_back(
+          SyncRecord{info.master_partition, info.master_local, states[v].delta_next});
+      // The mirror's contribution now lives in the buffer; clear the slot so the
+      // broadcast phase can overwrite it with the merged value.
+      states[v].delta_next = identity;
+    }
+  }
+}
+
+void PushStage::Push(Job& job) {
+  const PartitionedGraph& g = layout_;
+  const AccKind kind = job.program().acc_kind();
+  const double identity = AccIdentity(kind);
+
+  // Phase 1 (Algorithm 2, SortD + merge): mirror deltas, sorted by master partition, are
+  // Acc-merged into master delta_next slots. Sorting makes the updates successive per
+  // private partition, which is why we charge one private-partition access per distinct
+  // destination partition (in the swap sweep below) rather than one per record.
+  std::sort(job.sync_buffer_.begin(), job.sync_buffer_.end(),
+            [](const SyncRecord& a, const SyncRecord& b) {
+              if (a.partition != b.partition) {
+                return a.partition < b.partition;
+              }
+              return a.local < b.local;
+            });
+  for (const SyncRecord& rec : job.sync_buffer_) {
+    auto states = job.table_.partition(rec.partition);
+    states[rec.local].delta_next = AccApply(kind, states[rec.local].delta_next, rec.delta);
+    job.dirty_[rec.partition] = true;
+  }
+  job.stats_.push_updates += job.sync_buffer_.size();
+  job.sync_buffer_.clear();
+
+  // Phase 2 (SortS + broadcast): merged master values are pushed back to mirrors so every
+  // replica agrees on next iteration's delta (and hence on activity and value updates).
+  std::vector<SyncRecord> broadcast;
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    if (!job.dirty_[p]) {
+      continue;
+    }
+    const GraphPartition& part = g.partition(p);
+    auto states = job.table_.partition(p);
+    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+      const LocalVertexInfo& info = part.vertex(v);
+      if (!info.is_master || states[v].delta_next == identity) {
+        continue;
+      }
+      for (const ReplicaRef& ref : part.mirrors_of(v)) {
+        broadcast.push_back(SyncRecord{ref.partition, ref.local, states[v].delta_next});
+      }
+    }
+  }
+  std::sort(broadcast.begin(), broadcast.end(), [](const SyncRecord& a, const SyncRecord& b) {
+    if (a.partition != b.partition) {
+      return a.partition < b.partition;
+    }
+    return a.local < b.local;
+  });
+  for (const SyncRecord& rec : broadcast) {
+    auto states = job.table_.partition(rec.partition);
+    states[rec.local].delta_next = rec.delta;  // Replace: mirror contribution was merged.
+    job.dirty_[rec.partition] = true;
+  }
+  job.stats_.push_updates += broadcast.size();
+
+  // Phase 3: swap the double buffer on dirty partitions, recompute activity, and charge
+  // the batched private-table accesses of the whole push.
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    if (job.dirty_[p]) {
+      const ItemKey private_key{DataKind::kPrivate, job.id(), p, 0};
+      job.stats_.charge +=
+          hierarchy_->Access(private_key, job.table_.partition_bytes(p), /*pin=*/false);
+    }
+  }
+  const uint64_t active_total = manager_->RefreshActivity(job, /*all_partitions=*/false,
+                                                          /*swap_buffers=*/true,
+                                                          /*initial=*/false);
+
+  ++job.iteration_;
+  job.stats_.iterations = job.iteration_;
+  std::fill(job.processed_.begin(), job.processed_.end(), false);
+
+  // Iteration-boundary protocol with the program (possibly multi-phase).
+  bool registered = false;
+  uint64_t active_now = active_total;
+  for (int guard = 0; guard < 1024; ++guard) {
+    VertexProgram::IterationContext context;
+    context.any_active = active_now > 0;
+    context.iteration = job.iteration_;
+    context.table = &job.table_;
+    context.layout = &g;
+    const auto action = job.program().OnIterationEnd(context);
+    if (action == VertexProgram::IterationAction::kFinished) {
+      manager_->FinishJob(job);
+      return;
+    }
+    if (action == VertexProgram::IterationAction::kContinue) {
+      if (active_now == 0 || job.iteration_ >= options_.max_iterations_per_job) {
+        manager_->FinishJob(job);
+        return;
+      }
+      registered = true;
+      break;
+    }
+    // kNewPhase: re-initialize every vertex state and re-derive activity. Charged as a
+    // full private-table sweep.
+    for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+      const GraphPartition& part = g.partition(p);
+      auto states = job.table_.partition(p);
+      for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+        job.program().ReinitVertex(part.vertex(v), states[v]);
+      }
+      const ItemKey private_key{DataKind::kPrivate, job.id(), p, 0};
+      job.stats_.charge +=
+          hierarchy_->Access(private_key, job.table_.partition_bytes(p), /*pin=*/false);
+    }
+    active_now = manager_->RefreshActivity(job, /*all_partitions=*/true,
+                                           /*swap_buffers=*/false, /*initial=*/false);
+  }
+  CGRAPH_CHECK(registered);
+}
+
+}  // namespace cgraph

@@ -1,0 +1,46 @@
+// Push stage of the LTP pipeline (paper section 3.2.4, Algorithm 2).
+//
+// When a job has handled all its active partitions, its buffered mirror deltas are merged
+// into masters (sorted by destination partition — SortD), merged values are broadcast back
+// to mirrors (sorted again — SortS), the delta double-buffer is swapped, and the next
+// iteration's partitions are registered in the global table through the JobManager
+// (activation tracing). The iteration-boundary protocol with the vertex program runs here
+// too: convergence detection, the max-iteration safety valve, and multi-phase
+// re-initialization (SCC). Jobs that complete are finalized immediately via
+// JobManager::FinishJob, which may admit a queued job into the freed slot.
+
+#ifndef SRC_CORE_PUSH_STAGE_H_
+#define SRC_CORE_PUSH_STAGE_H_
+
+#include "src/cache/memory_hierarchy.h"
+#include "src/core/engine_options.h"
+#include "src/core/job_manager.h"
+#include "src/partition/partitioned_graph.h"
+
+namespace cgraph {
+
+class PushStage {
+ public:
+  // `hierarchy` and `manager` are borrowed from the engine and must outlive this.
+  PushStage(const PartitionedGraph& layout, MemoryHierarchy* hierarchy, JobManager* manager,
+            const EngineOptions& options);
+
+  // Buffers the job's non-identity mirror deltas of partition p into its sync queue
+  // (the paper's S_new) after a trigger, clearing the slots for the broadcast phase.
+  void CollectMirrorRecords(Job& job, PartitionId p);
+
+  // Runs the job's full iteration-boundary push: merge, broadcast, buffer swap, activity
+  // refresh, and the program's OnIterationEnd protocol. Finishes the job when it
+  // converged, hit the iteration valve, or declared itself done.
+  void Push(Job& job);
+
+ private:
+  const PartitionedGraph& layout_;
+  MemoryHierarchy* hierarchy_;
+  JobManager* manager_;
+  EngineOptions options_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CORE_PUSH_STAGE_H_

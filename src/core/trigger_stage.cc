@@ -1,0 +1,98 @@
+#include "src/core/trigger_stage.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/core/vertex_program.h"
+
+namespace cgraph {
+
+TriggerStage::TriggerStage(ThreadPool* pool, MemoryHierarchy* hierarchy,
+                           const EngineOptions& options)
+    : pool_(pool), hierarchy_(hierarchy), options_(options) {
+  CGRAPH_CHECK(pool != nullptr);
+  CGRAPH_CHECK(hierarchy != nullptr);
+}
+
+void TriggerStage::Run(PartitionId p, const GraphPartition& part,
+                       const std::vector<Job*>& group) {
+  const size_t batch_size = std::max<size_t>(1, options_.num_workers);
+  for (size_t begin = 0; begin < group.size(); begin += batch_size) {
+    const size_t end = std::min(group.size(), begin + batch_size);
+    std::vector<Job*> batch(group.begin() + begin, group.begin() + end);
+    for (Job* job : batch) {
+      const ItemKey private_key{DataKind::kPrivate, job->id(), p, 0};
+      job->stats_.charge +=
+          hierarchy_->Access(private_key, job->table().partition_bytes(p), /*pin=*/false);
+    }
+    TriggerBatch(p, part, batch);
+  }
+}
+
+void TriggerStage::TriggerBatch(PartitionId p, const GraphPartition& part,
+                                const std::vector<Job*>& batch) {
+  struct JobTask {
+    Job* job;
+    std::shared_ptr<std::atomic<size_t>> cursor;
+  };
+  std::vector<JobTask> job_tasks;
+  job_tasks.reserve(batch.size());
+  for (Job* job : batch) {
+    job_tasks.push_back({job, std::make_shared<std::atomic<size_t>>(0)});
+  }
+
+  const size_t n = part.num_local_vertices();
+  const size_t grain = std::max<uint32_t>(1, options_.chunk_grain);
+  auto process_range = [&part, p](Job* job, size_t begin, size_t end) {
+    auto states = job->table().partition(p);
+    ScatterOps ops(job->program().acc_kind(), states);
+    uint64_t vertex_computes = 0;
+    const DynamicBitset& active = job->active_[p];
+    for (size_t v = begin; v < end; ++v) {
+      if (active.Test(v)) {
+        job->program().Compute(part, static_cast<LocalVertexId>(v), states, ops);
+        ++vertex_computes;
+      }
+    }
+    // Flush counters with atomic adds: several workers may finish chunks of the same job
+    // concurrently.
+    std::atomic_ref<uint64_t>(job->stats_.vertex_computes)
+        .fetch_add(vertex_computes, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(job->stats_.edge_traversals)
+        .fetch_add(ops.edge_traversals(), std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(job->stats_.compute_units)
+        .fetch_add(vertex_computes + ops.edge_traversals(), std::memory_order_relaxed);
+  };
+
+  std::vector<std::function<void()>> tasks;
+  if (options_.straggler_split) {
+    // Every worker can steal chunks of any job in the batch: the straggler's remaining
+    // vertices are consumed by whichever cores come free (Fig. 6).
+    for (const JobTask& jt : job_tasks) {
+      const size_t tasks_for_job = std::min<size_t>(
+          options_.num_workers, (n + grain - 1) / std::max<size_t>(grain, 1) + 1);
+      for (size_t t = 0; t < tasks_for_job; ++t) {
+        tasks.push_back([jt, n, grain, &process_range] {
+          while (true) {
+            const size_t begin = jt.cursor->fetch_add(grain, std::memory_order_relaxed);
+            if (begin >= n) {
+              return;
+            }
+            process_range(jt.job, begin, std::min(begin + grain, n));
+          }
+        });
+      }
+    }
+  } else {
+    // Ablation: one task per job — a skewed job becomes the straggler.
+    for (const JobTask& jt : job_tasks) {
+      tasks.push_back([jt, n, &process_range] { process_range(jt.job, 0, n); });
+    }
+  }
+  pool_->RunAndWait(std::move(tasks));
+}
+
+}  // namespace cgraph

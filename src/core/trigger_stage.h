@@ -1,0 +1,43 @@
+// Trigger stage of the LTP pipeline (paper section 3.2.3, Algorithm 1 lines 4-6).
+//
+// The loaded partition is processed for *all* triggered jobs concurrently: jobs form
+// batches of at most num_workers, each batch rotates its private tables through the
+// hierarchy while the shared structure stays pinned, and straggler splitting lets every
+// worker steal vertex chunks of any job in the batch so a skewed job's remaining vertices
+// are consumed by whichever cores come free (Fig. 6). With straggler splitting disabled
+// (ablation) each job becomes a single task and skew serializes on one core.
+
+#ifndef SRC_CORE_TRIGGER_STAGE_H_
+#define SRC_CORE_TRIGGER_STAGE_H_
+
+#include <vector>
+
+#include "src/cache/memory_hierarchy.h"
+#include "src/core/engine_options.h"
+#include "src/core/job.h"
+#include "src/partition/partitioned_graph.h"
+#include "src/runtime/thread_pool.h"
+
+namespace cgraph {
+
+class TriggerStage {
+ public:
+  // `pool` and `hierarchy` are borrowed from the engine and must outlive this.
+  TriggerStage(ThreadPool* pool, MemoryHierarchy* hierarchy, const EngineOptions& options);
+
+  // Triggers partition p's loaded structure for every job in `group`, charging each
+  // job's private-partition access as its batch rotates in.
+  void Run(PartitionId p, const GraphPartition& part, const std::vector<Job*>& group);
+
+ private:
+  void TriggerBatch(PartitionId p, const GraphPartition& part,
+                    const std::vector<Job*>& batch);
+
+  ThreadPool* pool_;
+  MemoryHierarchy* hierarchy_;
+  EngineOptions options_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_CORE_TRIGGER_STAGE_H_

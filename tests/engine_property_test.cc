@@ -64,9 +64,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1u, 2u, 5u, 16u), ::testing::Values(1u, 3u, 8u),
                        ::testing::Bool()),
     [](const ::testing::TestParamInfo<Config>& param_info) {
-      return "p" + std::to_string(std::get<0>(param_info.param)) + "_w" +
-             std::to_string(std::get<1>(param_info.param)) +
-             (std::get<2>(param_info.param) ? "_core" : "_flat");
+      // Built via append: the const char* + std::string&& operator chain trips a GCC 12
+      // -Werror=restrict false positive at -O3.
+      std::string name = "p";
+      name += std::to_string(std::get<0>(param_info.param));
+      name += "_w";
+      name += std::to_string(std::get<1>(param_info.param));
+      name += std::get<2>(param_info.param) ? "_core" : "_flat";
+      return name;
     });
 
 TEST(PolicyInvarianceTest, EvictionPolicyDoesNotChangeResults) {

@@ -5,9 +5,13 @@
 //              [--jobs=NAME[,NAME...]] [--system=cgraph|cgraph-without|sequential|
 //               seraph|seraph-vt|nxgraph|clip]
 //              [--partitions=N] [--workers=N] [--source=V] [--csv=PATH]
+//              [--theta-scale=X] [--no-straggler] [--chunk-grain=N]
+//              [--arrivals=NAME@STEP[,NAME@STEP...]]
 //
 // Job names: pagerank, sssp, scc, bfs, wcc, kcore, ppr, khop.
 // Default: --rmat=12,8 --jobs=pagerank,sssp,scc,bfs --system=cgraph.
+// --arrivals submits extra jobs online, each after STEP partition-scheduling steps
+// (cgraph systems only — the baselines have no runtime-admission path).
 //
 // Prints a per-job report table; --csv additionally writes machine-readable rows.
 
@@ -30,16 +34,25 @@ namespace {
 
 using namespace cgraph;
 
+struct ArrivalSpec {
+  std::string job;
+  uint64_t step = 0;
+};
+
 struct CliOptions {
   std::string graph_path;
   uint32_t rmat_scale = 12;
   uint32_t rmat_edge_factor = 8;
   uint64_t rmat_seed = 1;
   std::vector<std::string> jobs = {"pagerank", "sssp", "scc", "bfs"};
+  std::vector<ArrivalSpec> arrivals;
   std::string system = "cgraph";
   uint32_t partitions = 16;
   uint32_t workers = 4;
   VertexId source = kInvalidVertex;  // Default: highest out-degree vertex.
+  double theta_scale = 1.0;
+  bool straggler_split = true;
+  uint32_t chunk_grain = 0;  // 0 = engine default.
   std::string csv_path;
   bool help = false;
 };
@@ -90,6 +103,34 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->workers = static_cast<uint32_t>(std::atoi(value));
     } else if (match("--source=")) {
       options->source = static_cast<VertexId>(std::atoll(value));
+    } else if (match("--theta-scale=")) {
+      char* end = nullptr;
+      options->theta_scale = std::strtod(value, &end);
+      if (end == value || *end != '\0' || options->theta_scale < 0.0 ||
+          options->theta_scale > 1.0) {
+        std::fprintf(stderr, "error: --theta-scale expects a number in [0, 1]\n");
+        return false;
+      }
+    } else if (arg == "--no-straggler") {
+      options->straggler_split = false;
+    } else if (match("--chunk-grain=")) {
+      uint64_t grain = 0;
+      if (!ParseUint64(value, &grain) || grain == 0 || grain > 0xFFFFFFFFull) {
+        std::fprintf(stderr, "error: --chunk-grain expects a positive vertex count\n");
+        return false;
+      }
+      options->chunk_grain = static_cast<uint32_t>(grain);
+    } else if (match("--arrivals=")) {
+      for (const auto piece : SplitNonEmpty(value, ",")) {
+        const size_t at = piece.find('@');
+        uint64_t step = 0;
+        if (at == std::string_view::npos || at == 0 ||
+            !ParseUint64(piece.substr(at + 1), &step)) {
+          std::fprintf(stderr, "error: --arrivals expects NAME@STEP[,NAME@STEP...]\n");
+          return false;
+        }
+        options->arrivals.push_back(ArrivalSpec{std::string(piece.substr(0, at)), step});
+      }
     } else if (match("--csv=")) {
       options->csv_path = value;
     } else {
@@ -123,6 +164,11 @@ void PrintUsage() {
       "  --partitions=N        graph partitions (default 16)\n"
       "  --workers=N           worker threads (default 4)\n"
       "  --source=V            traversal source (default: highest out-degree)\n"
+      "  --theta-scale=X       scale Eq. 1's theta in [0,1] (default 1; 0 = pure N(P))\n"
+      "  --no-straggler        disable straggler splitting (one task per job)\n"
+      "  --chunk-grain=N       vertices per stolen work chunk (default 256)\n"
+      "  --arrivals=J@S,...    submit job J online after S scheduling steps\n"
+      "                        (cgraph systems only)\n"
       "  --csv=PATH            also write the report as CSV\n");
 }
 
@@ -140,6 +186,18 @@ int main(int argc, char** argv) {
   for (const auto& job : options.jobs) {
     if (!IsKnownJob(job)) {
       std::fprintf(stderr, "error: unknown job '%s'\n", job.c_str());
+      return 2;
+    }
+  }
+  const bool is_cgraph_system =
+      options.system == "cgraph" || options.system == "cgraph-without";
+  for (const auto& arrival : options.arrivals) {
+    if (!IsKnownJob(arrival.job)) {
+      std::fprintf(stderr, "error: unknown arrival job '%s'\n", arrival.job.c_str());
+      return 2;
+    }
+    if (!is_cgraph_system) {
+      std::fprintf(stderr, "error: --arrivals requires --system=cgraph|cgraph-without\n");
       return 2;
     }
   }
@@ -169,16 +227,27 @@ int main(int argc, char** argv) {
 
   EngineOptions engine_options;
   engine_options.num_workers = options.workers;
+  engine_options.theta_scale = options.theta_scale;
+  engine_options.straggler_split = options.straggler_split;
+  if (options.chunk_grain > 0) {
+    engine_options.chunk_grain = options.chunk_grain;
+  }
   const CostModel cost;
 
   RunReport report;
-  if (options.system == "cgraph" || options.system == "cgraph-without") {
+  if (is_cgraph_system) {
     engine_options.use_scheduler = options.system == "cgraph";
     LtpEngine engine(&graph, engine_options);
     for (const auto& name : options.jobs) {
       engine.AddJob(MakeProgram(name, source));
     }
-    report = engine.Run();
+    // Online submissions ride the service API: each arrival becomes runnable after its
+    // scheduling step and queues behind max_jobs if the engine is saturated.
+    for (const auto& arrival : options.arrivals) {
+      engine.SubmitAt(MakeProgram(arrival.job, source), arrival.step);
+    }
+    engine.RunUntilIdle();
+    report = engine.Report();
   } else {
     BaselineOptions bopts;
     bopts.engine = engine_options;

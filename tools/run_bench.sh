@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs a fixed concurrent-jobs LTP workload through cgraph_cli and emits BENCH_ltp.json,
+# a machine-readable throughput record for tracking the engine's perf trajectory across
+# PRs. The workload mixes up-front jobs with online arrivals so the job-service admission
+# path is part of what gets measured.
+#
+# Usage: tools/run_bench.sh [BUILD_DIR] (default: build/release-all, configured on demand)
+# Env:   OUT=path/to/record.json   override the output path (default: BENCH_ltp.json)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build/release-all}
+OUT=${OUT:-BENCH_ltp.json}
+
+# Fixed workload: deterministic R-MAT graph, four heterogeneous jobs up front, two online
+# arrivals. Big enough for a stable wall-clock signal, small enough for CI.
+RMAT="14,16,7"
+JOBS="pagerank,sssp,wcc,bfs"
+ARRIVALS="kcore@200,ppr@400"
+PARTITIONS=32
+WORKERS=4
+
+if [ ! -x "$BUILD_DIR/tools/cgraph_cli" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD_DIR" -j --target cgraph_cli >/dev/null
+fi
+
+CSV=$(mktemp)
+trap 'rm -f "$CSV"' EXIT
+"$BUILD_DIR/tools/cgraph_cli" --rmat="$RMAT" --jobs="$JOBS" --arrivals="$ARRIVALS" \
+  --partitions="$PARTITIONS" --workers="$WORKERS" --csv="$CSV" >/dev/null
+
+# CSV columns: executor,job,iterations,vertex_computes,edge_traversals,push_updates,
+# compute_units,hit_bytes,mem_bytes,disk_bytes,modeled_compute,modeled_access,
+# modeled_time,wall_seconds. The "total" row aggregates all jobs.
+awk -F, -v rmat="$RMAT" -v jobs="$JOBS" -v arrivals="$ARRIVALS" \
+    -v partitions="$PARTITIONS" -v workers="$WORKERS" '
+  NR > 1 && $2 != "total" { n_jobs++ }
+  $2 == "total" {
+    compute_units = $7; below_cache = $9 + $10; modeled = $13; wall = $14
+  }
+  END {
+    wall_tp = wall > 0 ? n_jobs / wall : 0
+    modeled_tp = modeled > 0 ? n_jobs / modeled : 0
+    printf "{\n"
+    printf "  \"bench\": \"ltp_throughput\",\n"
+    printf "  \"config\": {\"rmat\": \"%s\", \"jobs\": \"%s\", \"arrivals\": \"%s\", ", rmat, jobs, arrivals
+    printf "\"partitions\": %d, \"workers\": %d},\n", partitions, workers
+    printf "  \"jobs_completed\": %d,\n", n_jobs
+    printf "  \"wall_seconds\": %s,\n", wall
+    printf "  \"jobs_per_second_wall\": %.4f,\n", wall_tp
+    printf "  \"jobs_per_modeled_unit\": %.6g,\n", modeled_tp
+    printf "  \"total_compute_units\": %s,\n", compute_units
+    printf "  \"bytes_below_cache\": %s\n", below_cache
+    printf "}\n"
+  }' "$CSV" > "$OUT"
+
+echo "wrote $OUT"
