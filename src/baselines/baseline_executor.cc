@@ -219,10 +219,12 @@ void BaselineExecutor::ProcessPartitionForJob(Job& job, PartitionId p) {
   job.stats_.charge +=
       hierarchy_->Access(private_key, job.table_.partition_bytes(p), /*pin=*/false);
 
-  // Trigger: this job alone, parallelized over its active vertices.
+  // Trigger: this job alone, parallelized over its active vertices. Dispatch goes through
+  // the pool's allocation-free batch primitive: chunk starts are claimed from one atomic
+  // cursor shared by the drain tasks, no heap-allocated closures.
   const size_t n = part.num_local_vertices();
   const size_t grain = std::max<uint32_t>(1, options_.engine.chunk_grain);
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  std::atomic<size_t> cursor{0};
   auto process_range = [&job, &part, p](size_t begin, size_t end) {
     auto states = job.table_.partition(p);
     ScatterOps ops(job.program().acc_kind(), states);
@@ -241,21 +243,17 @@ void BaselineExecutor::ProcessPartitionForJob(Job& job, PartitionId p) {
     std::atomic_ref<uint64_t>(job.stats_.compute_units)
         .fetch_add(vertex_computes + ops.edge_traversals(), std::memory_order_relaxed);
   };
-  std::vector<std::function<void()>> tasks;
   const size_t num_tasks =
       options_.engine.straggler_split ? options_.engine.num_workers : size_t{1};
-  for (size_t t = 0; t < num_tasks; ++t) {
-    tasks.push_back([cursor, n, grain, &process_range] {
-      while (true) {
-        const size_t begin = cursor->fetch_add(grain, std::memory_order_relaxed);
-        if (begin >= n) {
-          return;
-        }
-        process_range(begin, std::min(begin + grain, n));
+  pool_->RunBatch(num_tasks, [&](size_t) {
+    while (true) {
+      const size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) {
+        return;
       }
-    });
-  }
-  pool_->RunAndWait(std::move(tasks));
+      process_range(begin, std::min(begin + grain, n));
+    }
+  });
 
   if (options_.system == BaselineSystem::kClip) {
     ReentryRounds(job, p, part);

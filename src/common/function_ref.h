@@ -1,0 +1,46 @@
+// Non-owning, trivially copyable reference to a callable — two words: an object pointer
+// and an invoke thunk. Unlike std::function it never heap-allocates, which is what lets
+// ThreadPool::RunBatch dispatch thousands of tasks per second without touching the
+// allocator. The referenced callable must outlive every call through the FunctionRef
+// (for RunBatch: until the batch completes).
+
+#ifndef SRC_COMMON_FUNCTION_REF_H_
+#define SRC_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace cgraph {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  constexpr FunctionRef() = default;
+
+  // Binds any callable by reference. The callable is NOT copied.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function_ref.
+      : object_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const { return invoke_(object_, std::forward<Args>(args)...); }
+
+ private:
+  void* object_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_COMMON_FUNCTION_REF_H_

@@ -32,8 +32,20 @@ struct EngineOptions {
   // Disabled = one task per (job, partition).
   bool straggler_split = true;
 
-  // Vertices per work chunk when straggler splitting is on.
+  // Vertices per work chunk when straggler splitting is on. The trigger stage rounds this
+  // up to whole 64-vertex bitmask words so chunk claiming stays word-aligned.
   uint32_t chunk_grain = 256;
+
+  // Frontier-aware trigger sweeps: scan the active bitmask word-at-a-time and skip 64
+  // inactive vertices per load. Disabled = the dense per-vertex Test() loop (ablation;
+  // modeled metrics are identical either way, only wall time differs).
+  bool sparse_trigger = true;
+
+  // Per-vertex bookkeeping sweeps (job init, activity refresh) run through the thread
+  // pool's batch dispatch when a partition has at least this many local vertices;
+  // smaller partitions stay inline because dispatch would cost more than the sweep.
+  // 0 forces the parallel path (used by tests to cover it on small fixtures).
+  uint32_t parallel_sweep_threshold = 1u << 13;
 
   // Capacity of the global table's per-partition job set.
   uint32_t max_jobs = 64;

@@ -24,6 +24,14 @@ struct SyncRecord {
   double delta = 0.0;
 };
 
+// Bucketed sync record: the destination partition is implied by the bucket, so only the
+// local slot and the delta travel. Half the bytes of a SyncRecord, which matters because
+// the push stage streams millions of these per run.
+struct BucketRecord {
+  LocalVertexId local = 0;
+  double delta = 0.0;
+};
+
 class Job {
  public:
   // Sentinel for "not admitted": the job holds no global-table slot.
@@ -76,7 +84,14 @@ class Job {
   // feeds the scheduler's C(P) term.
   std::vector<double> change_fraction_;
   uint32_t remaining_ = 0;            // Active partitions still to process this iteration.
+  // Flat sync queue (baseline executors only; sorted by destination at push time).
   std::vector<SyncRecord> sync_buffer_;
+  // LTP push path: one bucket per destination partition, reused across iterations with
+  // capacity pre-reserved at admission (counting-sort semantics — records land grouped by
+  // destination, so the merge/broadcast sweeps stay successive per private partition
+  // without any std::sort).
+  std::vector<std::vector<BucketRecord>> sync_in_;     // Mirror deltas -> their masters.
+  std::vector<std::vector<BucketRecord>> broadcast_;   // Merged masters -> their mirrors.
   uint64_t iteration_ = 0;
   bool finished_ = false;
   JobStats stats_;

@@ -1,17 +1,43 @@
 #include "src/core/job_manager.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <utility>
 
 #include "src/cache/cache_sim.h"
 #include "src/common/check.h"
+#include "src/common/function_ref.h"
 
 namespace cgraph {
 
+namespace {
+
+// Chunk size for pool-dispatched bookkeeping sweeps. A multiple of 64 so concurrent
+// DynamicBitset::Set calls from different chunks always land in disjoint words.
+constexpr size_t kSweepGrain = 4096;
+
+// Runs body(begin, end) over disjoint subranges covering [0, n): inline below
+// `threshold` (dispatch would cost more than the sweep), otherwise through the pool's
+// allocation-free batch primitive in word-aligned chunks.
+void SweepRange(ThreadPool* pool, uint32_t num_workers, uint32_t threshold, size_t n,
+                FunctionRef<void(size_t, size_t)> body) {
+  if (pool == nullptr || num_workers <= 1 || n < threshold) {
+    body(0, n);
+    return;
+  }
+  const size_t chunks = (n + kSweepGrain - 1) / kSweepGrain;
+  pool->RunBatch(chunks, [&](size_t chunk) {
+    const size_t begin = chunk * kSweepGrain;
+    body(begin, std::min(begin + kSweepGrain, n));
+  });
+}
+
+}  // namespace
+
 JobManager::JobManager(const PartitionedGraph& layout, GlobalTable* table,
-                       Scheduler* scheduler, const EngineOptions& options)
-    : layout_(layout), table_(table), scheduler_(scheduler), options_(options),
+                       Scheduler* scheduler, ThreadPool* pool, const EngineOptions& options)
+    : layout_(layout), table_(table), scheduler_(scheduler), pool_(pool), options_(options),
       slot_jobs_(options.max_jobs, nullptr) {
   CGRAPH_CHECK(table != nullptr);
   CGRAPH_CHECK(scheduler != nullptr);
@@ -88,6 +114,17 @@ void JobManager::InitJob(Job& job, uint32_t slot) {
   job.processed_.assign(g.num_partitions(), false);
   job.dirty_.assign(g.num_partitions(), false);
   job.change_fraction_.assign(g.num_partitions(), 1.0);
+  // Sync buckets, pre-reserved to their tight per-iteration bounds so the push path never
+  // reallocates mid-run: partition p can receive at most one merge record per mirror of
+  // its masters and at most one broadcast record per mirror replica it hosts.
+  job.sync_in_.resize(g.num_partitions());
+  job.broadcast_.resize(g.num_partitions());
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    job.sync_in_[p].clear();
+    job.sync_in_[p].reserve(g.partition(p).num_mirror_refs());
+    job.broadcast_[p].clear();
+    job.broadcast_[p].reserve(g.partition(p).mirror_locals().size());
+  }
 
   const VertexProgram& program = job.program();
   const double identity = AccIdentity(program.acc_kind());
@@ -95,10 +132,13 @@ void JobManager::InitJob(Job& job, uint32_t slot) {
     const GraphPartition& part = g.partition(p);
     auto states = job.table_.partition(p);
     job.active_[p].Resize(part.num_local_vertices());
-    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
-      states[v] = program.InitialState(part.vertex(v));
-      states[v].delta_next = identity;  // The accumulator must start at Acc's identity.
-    }
+    SweepRange(pool_, options_.num_workers, options_.parallel_sweep_threshold,
+               part.num_local_vertices(), [&](size_t begin, size_t end) {
+                 for (size_t v = begin; v < end; ++v) {
+                   states[v] = program.InitialState(part.vertex(static_cast<LocalVertexId>(v)));
+                   states[v].delta_next = identity;  // Acc must start at its identity.
+                 }
+               });
   }
   const uint64_t active = RefreshActivity(job, /*all_partitions=*/true, /*swap_buffers=*/false,
                                           /*initial=*/true);
@@ -113,8 +153,6 @@ void JobManager::InitJob(Job& job, uint32_t slot) {
 uint64_t JobManager::RefreshActivity(Job& job, bool all_partitions, bool swap_buffers,
                                      bool initial) {
   const PartitionedGraph& g = layout_;
-  const VertexProgram& program = job.program();
-  const double identity = AccIdentity(program.acc_kind());
   uint64_t total = 0;
   job.remaining_ = 0;
   for (PartitionId p = 0; p < g.num_partitions(); ++p) {
@@ -126,21 +164,7 @@ uint64_t JobManager::RefreshActivity(Job& job, bool all_partitions, bool swap_bu
       continue;
     }
     const GraphPartition& part = g.partition(p);
-    auto states = job.table_.partition(p);
-    uint32_t count = 0;
-    job.active_[p].ClearAll();
-    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
-      if (swap_buffers) {
-        states[v].delta = states[v].delta_next;
-        states[v].delta_next = identity;
-      }
-      const bool active = initial ? program.InitiallyActive(part.vertex(v), states[v])
-                                  : program.IsActive(states[v]);
-      if (active) {
-        job.active_[p].Set(v);
-        ++count;
-      }
-    }
+    const uint32_t count = SweepPartitionActivity(job, part, p, swap_buffers, initial);
     job.active_count_[p] = count;
     job.change_fraction_[p] =
         part.num_local_vertices() == 0
@@ -158,6 +182,39 @@ uint64_t JobManager::RefreshActivity(Job& job, bool all_partitions, bool swap_bu
     }
   }
   return total;
+}
+
+uint32_t JobManager::SweepPartitionActivity(Job& job, const GraphPartition& part,
+                                            PartitionId p, bool swap_buffers, bool initial) {
+  const VertexProgram& program = job.program();
+  const double identity = AccIdentity(program.acc_kind());
+  auto states = job.table_.partition(p);
+  DynamicBitset& active = job.active_[p];
+  active.ClearAll();
+  // Chunk results are order-independent — the count is an integer sum and SweepRange's
+  // word-aligned grains keep concurrent Set() calls in disjoint bitmask words — so the
+  // parallel sweep is bit-identical to the serial one.
+  std::atomic<uint32_t> total{0};
+  SweepRange(pool_, options_.num_workers, options_.parallel_sweep_threshold,
+             part.num_local_vertices(), [&](size_t begin, size_t end) {
+               uint32_t count = 0;
+               for (size_t i = begin; i < end; ++i) {
+                 const LocalVertexId v = static_cast<LocalVertexId>(i);
+                 if (swap_buffers) {
+                   states[v].delta = states[v].delta_next;
+                   states[v].delta_next = identity;
+                 }
+                 const bool is_active = initial
+                                            ? program.InitiallyActive(part.vertex(v), states[v])
+                                            : program.IsActive(states[v]);
+                 if (is_active) {
+                   active.Set(v);
+                   ++count;
+                 }
+               }
+               total.fetch_add(count, std::memory_order_relaxed);
+             });
+  return total.load(std::memory_order_relaxed);
 }
 
 bool JobManager::MarkProcessed(Job& job, PartitionId p) {

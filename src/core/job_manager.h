@@ -28,15 +28,17 @@
 #include "src/core/job.h"
 #include "src/core/scheduler.h"
 #include "src/partition/partitioned_graph.h"
+#include "src/runtime/thread_pool.h"
 #include "src/storage/global_table.h"
 
 namespace cgraph {
 
 class JobManager {
  public:
-  // `layout`, `table`, and `scheduler` are borrowed from the engine and must outlive this.
+  // `layout`, `table`, `scheduler`, and `pool` are borrowed from the engine and must
+  // outlive this. `pool` may be null: every bookkeeping sweep then runs inline.
   JobManager(const PartitionedGraph& layout, GlobalTable* table, Scheduler* scheduler,
-             const EngineOptions& options);
+             ThreadPool* pool, const EngineOptions& options);
 
   JobManager(const JobManager&) = delete;
   JobManager& operator=(const JobManager&) = delete;
@@ -97,9 +99,18 @@ class JobManager {
   // smallest free one — or Job::kInvalidSlot when all are busy.
   uint32_t AllocateSlot(const Job& job);
 
+  // Per-vertex activity sweep of one partition: optional delta double-buffer swap, then
+  // active-mask rebuild. Returns the partition's active count. Dispatches through the
+  // pool's batch primitive in word-aligned chunks when the partition is at least
+  // EngineOptions::parallel_sweep_threshold vertices (results are order-independent:
+  // integer counts and disjoint bitmask words).
+  uint32_t SweepPartitionActivity(Job& job, const GraphPartition& part, PartitionId p,
+                                  bool swap_buffers, bool initial);
+
   const PartitionedGraph& layout_;
   GlobalTable* table_;
   Scheduler* scheduler_;
+  ThreadPool* pool_;
   EngineOptions options_;
 
   std::vector<std::unique_ptr<Job>> jobs_;

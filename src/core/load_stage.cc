@@ -26,18 +26,21 @@ const GraphPartition& LoadStage::Resolve(PartitionId p, const Job& job,
   return snapshots_->Resolve(p, job.submit_time());
 }
 
-std::vector<LoadStage::VersionGroup> LoadStage::FormGroups(PartitionId p) {
-  std::vector<JobId> registered = table_->RegisteredJobs(p);  // Slot indices, ascending.
-  CGRAPH_CHECK(!registered.empty());
+std::span<const LoadStage::VersionGroup> LoadStage::FormGroups(PartitionId p) {
+  // Registered slots in ascending order, gathered word-at-a-time into a reused scratch.
+  registered_scratch_.clear();
+  table_->ForEachRegistered(p, [this](JobId slot) { registered_scratch_.push_back(slot); });
+  CGRAPH_CHECK(!registered_scratch_.empty());
   // Rotate the order by partition id so structure-miss attribution does not always fall
   // on the lowest slot (the triggering job pays the miss; later jobs hit).
-  if (registered.size() > 1) {
-    std::rotate(registered.begin(),
-                registered.begin() + (p % registered.size()), registered.end());
+  if (registered_scratch_.size() > 1) {
+    std::rotate(registered_scratch_.begin(),
+                registered_scratch_.begin() + (p % registered_scratch_.size()),
+                registered_scratch_.end());
   }
 
-  std::vector<VersionGroup> groups;
-  for (const JobId slot : registered) {
+  size_t num_groups = 0;  // Groups are reused in place; only the prefix is live.
+  for (const JobId slot : registered_scratch_) {
     Job* job = manager_->JobAtSlot(slot);
     if (job == nullptr || job->finished_) {
       table_->Unregister(p, slot);  // Defensive: stale bits must not stall the scheduler.
@@ -45,15 +48,25 @@ std::vector<LoadStage::VersionGroup> LoadStage::FormGroups(PartitionId p) {
     }
     uint32_t version = 0;
     const GraphPartition& structure = Resolve(p, *job, &version);
-    auto it = std::find_if(groups.begin(), groups.end(),
-                           [&](const VersionGroup& g) { return g.version == version; });
-    if (it == groups.end()) {
-      groups.push_back(VersionGroup{version, &structure, {job}});
-    } else {
-      it->jobs.push_back(job);
+    VersionGroup* group = nullptr;
+    for (size_t g = 0; g < num_groups; ++g) {
+      if (groups_[g].version == version) {
+        group = &groups_[g];
+        break;
+      }
     }
+    if (group == nullptr) {
+      if (num_groups == groups_.size()) {
+        groups_.emplace_back();
+      }
+      group = &groups_[num_groups++];
+      group->version = version;
+      group->structure = &structure;
+      group->jobs.clear();  // Keeps capacity from earlier steps.
+    }
+    group->jobs.push_back(job);
   }
-  return groups;
+  return {groups_.data(), num_groups};
 }
 
 void LoadStage::LoadStructure(PartitionId p, const VersionGroup& group) {

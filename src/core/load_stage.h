@@ -11,6 +11,7 @@
 #ifndef SRC_CORE_LOAD_STAGE_H_
 #define SRC_CORE_LOAD_STAGE_H_
 
+#include <span>
 #include <vector>
 
 #include "src/cache/memory_hierarchy.h"
@@ -43,7 +44,9 @@ class LoadStage {
 
   // Partition p's registered jobs grouped by resolved structure version. The group order
   // rotates with p so structure-miss attribution does not always fall on the lowest slot.
-  std::vector<VersionGroup> FormGroups(PartitionId p);
+  // The returned span aliases member arenas reused every scheduling step (no per-step
+  // allocation); it is valid until the next FormGroups call.
+  std::span<const VersionGroup> FormGroups(PartitionId p);
 
   // Charges every job's selective structure load and pins the structure for the group.
   void LoadStructure(PartitionId p, const VersionGroup& group);
@@ -62,6 +65,11 @@ class LoadStage {
   MemoryHierarchy* hierarchy_;
   JobManager* manager_;
   EngineOptions options_;
+
+  // FormGroups arenas, reused across scheduling steps: the registered-slot scratch and
+  // the group storage (each group's jobs vector keeps its capacity between steps).
+  std::vector<JobId> registered_scratch_;
+  std::vector<VersionGroup> groups_;
 };
 
 }  // namespace cgraph

@@ -1,6 +1,7 @@
 #include "src/core/ltp_engine.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "src/common/check.h"
@@ -24,7 +25,7 @@ LtpEngine::LtpEngine(const EngineOptions& options, const PartitionedGraph* graph
   scheduler_ = std::make_unique<Scheduler>(base, options_.use_scheduler, options_.theta_scale);
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   manager_ = std::make_unique<JobManager>(base, global_table_.get(), scheduler_.get(),
-                                          options_);
+                                          pool_.get(), options_);
   push_ = std::make_unique<PushStage>(base, hierarchy_.get(), manager_.get(), options_);
   load_ = std::make_unique<LoadStage>(base, snapshots_, global_table_.get(),
                                       scheduler_.get(), hierarchy_.get(), manager_.get(),
@@ -130,9 +131,11 @@ RunReport LtpEngine::Report() const {
 
 void LtpEngine::ProcessPartition(PartitionId p) {
   // Load: group the partition's registered jobs by resolved structure version so that
-  // snapshot-sharing jobs are triggered off the same load.
-  std::vector<LoadStage::VersionGroup> groups = load_->FormGroups(p);
-  for (LoadStage::VersionGroup& group : groups) {
+  // snapshot-sharing jobs are triggered off the same load. The span aliases LoadStage's
+  // reused arenas — valid until the next FormGroups call, which cannot happen before
+  // this loop finishes.
+  const std::span<const LoadStage::VersionGroup> groups = load_->FormGroups(p);
+  for (const LoadStage::VersionGroup& group : groups) {
     load_->LoadStructure(p, group);
     // Trigger: process the pinned structure for every job in the group.
     trigger_->Run(p, *group.structure, group.jobs);

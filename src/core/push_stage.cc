@@ -19,15 +19,15 @@ void PushStage::CollectMirrorRecords(Job& job, PartitionId p) {
   const GraphPartition& layout_part = layout_.partition(p);
   const double identity = AccIdentity(job.program().acc_kind());
   auto states = job.table_.partition(p);
-  for (LocalVertexId v = 0; v < layout_part.num_local_vertices(); ++v) {
-    const LocalVertexInfo& info = layout_part.vertex(v);
-    if (info.is_master) {
-      continue;  // Masters keep their accumulation in place.
-    }
+  // Only mirror replicas can have anything to send: walk the partition's mirror index
+  // (ascending locals, so record order matches the old full-sweep order) instead of
+  // testing every local vertex.
+  for (const LocalVertexId v : layout_part.mirror_locals()) {
     if (states[v].delta_next != identity) {
-      job.sync_buffer_.push_back(
-          SyncRecord{info.master_partition, info.master_local, states[v].delta_next});
-      // The mirror's contribution now lives in the buffer; clear the slot so the
+      const LocalVertexInfo& info = layout_part.vertex(v);
+      job.sync_in_[info.master_partition].push_back(
+          BucketRecord{info.master_local, states[v].delta_next});
+      // The mirror's contribution now lives in the bucket; clear the slot so the
       // broadcast phase can overwrite it with the merged value.
       states[v].delta_next = identity;
     }
@@ -39,56 +39,63 @@ void PushStage::Push(Job& job) {
   const AccKind kind = job.program().acc_kind();
   const double identity = AccIdentity(kind);
 
-  // Phase 1 (Algorithm 2, SortD + merge): mirror deltas, sorted by master partition, are
-  // Acc-merged into master delta_next slots. Sorting makes the updates successive per
-  // private partition, which is why we charge one private-partition access per distinct
-  // destination partition (in the swap sweep below) rather than one per record.
-  std::sort(job.sync_buffer_.begin(), job.sync_buffer_.end(),
-            [](const SyncRecord& a, const SyncRecord& b) {
-              if (a.partition != b.partition) {
-                return a.partition < b.partition;
-              }
-              return a.local < b.local;
-            });
-  for (const SyncRecord& rec : job.sync_buffer_) {
-    auto states = job.table_.partition(rec.partition);
-    states[rec.local].delta_next = AccApply(kind, states[rec.local].delta_next, rec.delta);
-    job.dirty_[rec.partition] = true;
+  // Phase 1 (Algorithm 2's SortD + merge, realized as counting-sort buckets): mirror
+  // deltas were collected directly into per-destination-partition buckets, so sweeping
+  // buckets in partition order makes the updates successive per private partition — the
+  // same access pattern the sort used to establish, hence the same charge model of one
+  // private-partition access per distinct destination partition (in the swap sweep below)
+  // rather than one per record.
+  uint64_t merged_records = 0;
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    std::vector<BucketRecord>& bucket = job.sync_in_[p];
+    if (bucket.empty()) {
+      continue;
+    }
+    auto states = job.table_.partition(p);
+    for (const BucketRecord& rec : bucket) {
+      states[rec.local].delta_next = AccApply(kind, states[rec.local].delta_next, rec.delta);
+    }
+    job.dirty_[p] = true;
+    merged_records += bucket.size();
+    bucket.clear();  // Keeps capacity: the bucket is reused every iteration.
   }
-  job.stats_.push_updates += job.sync_buffer_.size();
-  job.sync_buffer_.clear();
+  job.stats_.push_updates += merged_records;
 
-  // Phase 2 (SortS + broadcast): merged master values are pushed back to mirrors so every
-  // replica agrees on next iteration's delta (and hence on activity and value updates).
-  std::vector<SyncRecord> broadcast;
+  // Phase 2 (SortS + broadcast, same bucket scheme): merged master values are pushed back
+  // to mirrors so every replica agrees on next iteration's delta (and hence on activity
+  // and value updates). Only replicated masters can have mirrors to feed, so the source
+  // sweep walks the mirror index instead of every local vertex. Destinations are unique
+  // (a mirror has exactly one master), so per-bucket application order cannot matter.
+  uint64_t broadcast_records = 0;
   for (PartitionId p = 0; p < g.num_partitions(); ++p) {
     if (!job.dirty_[p]) {
       continue;
     }
     const GraphPartition& part = g.partition(p);
     auto states = job.table_.partition(p);
-    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
-      const LocalVertexInfo& info = part.vertex(v);
-      if (!info.is_master || states[v].delta_next == identity) {
+    for (const LocalVertexId v : part.replicated_masters()) {
+      if (states[v].delta_next == identity) {
         continue;
       }
       for (const ReplicaRef& ref : part.mirrors_of(v)) {
-        broadcast.push_back(SyncRecord{ref.partition, ref.local, states[v].delta_next});
+        job.broadcast_[ref.partition].push_back(BucketRecord{ref.local, states[v].delta_next});
       }
     }
   }
-  std::sort(broadcast.begin(), broadcast.end(), [](const SyncRecord& a, const SyncRecord& b) {
-    if (a.partition != b.partition) {
-      return a.partition < b.partition;
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    std::vector<BucketRecord>& bucket = job.broadcast_[p];
+    if (bucket.empty()) {
+      continue;
     }
-    return a.local < b.local;
-  });
-  for (const SyncRecord& rec : broadcast) {
-    auto states = job.table_.partition(rec.partition);
-    states[rec.local].delta_next = rec.delta;  // Replace: mirror contribution was merged.
-    job.dirty_[rec.partition] = true;
+    auto states = job.table_.partition(p);
+    for (const BucketRecord& rec : bucket) {
+      states[rec.local].delta_next = rec.delta;  // Replace: mirror contribution was merged.
+    }
+    job.dirty_[p] = true;
+    broadcast_records += bucket.size();
+    bucket.clear();
   }
-  job.stats_.push_updates += broadcast.size();
+  job.stats_.push_updates += broadcast_records;
 
   // Phase 3: swap the double buffer on dirty partitions, recompute activity, and charge
   // the batched private-table accesses of the whole push.

@@ -1,13 +1,18 @@
 // Push stage of the LTP pipeline (paper section 3.2.4, Algorithm 2).
 //
 // When a job has handled all its active partitions, its buffered mirror deltas are merged
-// into masters (sorted by destination partition — SortD), merged values are broadcast back
-// to mirrors (sorted again — SortS), the delta double-buffer is swapped, and the next
-// iteration's partitions are registered in the global table through the JobManager
-// (activation tracing). The iteration-boundary protocol with the vertex program runs here
-// too: convergence detection, the max-iteration safety valve, and multi-phase
-// re-initialization (SCC). Jobs that complete are finalized immediately via
-// JobManager::FinishJob, which may admit a queued job into the freed slot.
+// into masters, merged values are broadcast back to mirrors, the delta double-buffer is
+// swapped, and the next iteration's partitions are registered in the global table through
+// the JobManager (activation tracing). Algorithm 2's SortD/SortS passes are realized as
+// counting-sort buckets: records are collected straight into per-destination-partition
+// buckets (reused, pre-reserved on the Job), so sweeping buckets in partition order gives
+// the same successive-access pattern — and the same charge model — as the sorts, without
+// sorting. Collection walks each partition's mirror index (mirror_locals /
+// replicated_masters) instead of filtering every local vertex. The iteration-boundary
+// protocol with the vertex program runs here too: convergence detection, the
+// max-iteration safety valve, and multi-phase re-initialization (SCC). Jobs that complete
+// are finalized immediately via JobManager::FinishJob, which may admit a queued job into
+// the freed slot.
 
 #ifndef SRC_CORE_PUSH_STAGE_H_
 #define SRC_CORE_PUSH_STAGE_H_

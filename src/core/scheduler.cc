@@ -25,8 +25,11 @@ void Scheduler::SetStateChange(PartitionId p, double active_fraction) {
 }
 
 double Scheduler::Priority(const GlobalTable& table, PartitionId p) const {
-  return static_cast<double>(table.RegisteredCount(p)) +
-         theta_ * avg_degree_[p] * state_change_[p];
+  return PriorityFromCount(table.RegisteredCount(p), p);
+}
+
+double Scheduler::PriorityFromCount(uint32_t registered_count, PartitionId p) const {
+  return static_cast<double>(registered_count) + theta_ * avg_degree_[p] * state_change_[p];
 }
 
 PartitionId Scheduler::PickNext(const GlobalTable& table,
@@ -34,13 +37,16 @@ PartitionId Scheduler::PickNext(const GlobalTable& table,
   PartitionId best = kInvalidPartition;
   double best_priority = -1.0;
   for (PartitionId p = 0; p < table.num_partitions(); ++p) {
-    if (!eligible[p] || table.RegisteredCount(p) == 0) {
+    // One table lookup per partition: the count feeds both the eligibility filter and
+    // the N(P) term of Eq. 1.
+    const uint32_t count = table.RegisteredCount(p);
+    if (!eligible[p] || count == 0) {
       continue;
     }
     if (!use_priorities_) {
       return p;  // Fixed index order.
     }
-    const double priority = Priority(table, p);
+    const double priority = PriorityFromCount(count, p);
     if (priority > best_priority) {
       best_priority = priority;
       best = p;

@@ -40,6 +40,10 @@ class Scheduler {
 
   double Priority(const GlobalTable& table, PartitionId p) const;
 
+  // Eq. 1 with N(P) already in hand, so PickNext reads the global table once per
+  // partition instead of once for the eligibility filter and once for the priority.
+  double PriorityFromCount(uint32_t registered_count, PartitionId p) const;
+
   double theta() const { return theta_; }
 
  private:

@@ -1,9 +1,6 @@
 #include "src/core/trigger_stage.h"
 
 #include <algorithm>
-#include <atomic>
-#include <functional>
-#include <memory>
 
 #include "src/common/check.h"
 #include "src/core/vertex_program.h"
@@ -15,14 +12,29 @@ TriggerStage::TriggerStage(ThreadPool* pool, MemoryHierarchy* hierarchy,
     : pool_(pool), hierarchy_(hierarchy), options_(options) {
   CGRAPH_CHECK(pool != nullptr);
   CGRAPH_CHECK(hierarchy != nullptr);
+  const size_t max_batch = std::max<size_t>(1, options_.num_workers);
+  cursors_ = std::make_unique<std::atomic<size_t>[]>(max_batch);
+  batch_scratch_.reserve(options_.max_jobs);
+  task_slot_.reserve(max_batch * max_batch);
 }
 
 void TriggerStage::Run(PartitionId p, const GraphPartition& part,
                        const std::vector<Job*>& group) {
+  // Fully converged (job, partition) pairs have nothing to trigger: drop them before
+  // batching so they occupy no batch slot and charge no private-table access. Activation
+  // tracing only registers partitions that hold active vertices, so on a healthy engine
+  // this filter passes everyone through — it is the invariant, made local.
+  batch_scratch_.clear();
+  for (Job* job : group) {
+    if (job->active_count_[p] > 0) {
+      batch_scratch_.push_back(job);
+    }
+  }
   const size_t batch_size = std::max<size_t>(1, options_.num_workers);
-  for (size_t begin = 0; begin < group.size(); begin += batch_size) {
-    const size_t end = std::min(group.size(), begin + batch_size);
-    std::vector<Job*> batch(group.begin() + begin, group.begin() + end);
+  const std::span<Job* const> all(batch_scratch_);
+  for (size_t begin = 0; begin < all.size(); begin += batch_size) {
+    const std::span<Job* const> batch =
+        all.subspan(begin, std::min(batch_size, all.size() - begin));
     for (Job* job : batch) {
       const ItemKey private_key{DataKind::kPrivate, job->id(), p, 0};
       job->stats_.charge +=
@@ -33,66 +45,78 @@ void TriggerStage::Run(PartitionId p, const GraphPartition& part,
 }
 
 void TriggerStage::TriggerBatch(PartitionId p, const GraphPartition& part,
-                                const std::vector<Job*>& batch) {
-  struct JobTask {
-    Job* job;
-    std::shared_ptr<std::atomic<size_t>> cursor;
-  };
-  std::vector<JobTask> job_tasks;
-  job_tasks.reserve(batch.size());
-  for (Job* job : batch) {
-    job_tasks.push_back({job, std::make_shared<std::atomic<size_t>>(0)});
+                                std::span<Job* const> batch) {
+  const size_t n_words = (static_cast<size_t>(part.num_local_vertices()) + 63) / 64;
+  if (n_words == 0 || batch.empty()) {
+    return;
   }
+  // Chunks are claimed in whole bitmask words so a grain never straddles a word and the
+  // sparse scan needs no partial-word masking.
+  const size_t grain_words =
+      std::max<size_t>(1, (std::max<uint32_t>(1, options_.chunk_grain) + 63) / 64);
 
-  const size_t n = part.num_local_vertices();
-  const size_t grain = std::max<uint32_t>(1, options_.chunk_grain);
-  auto process_range = [&part, p](Job* job, size_t begin, size_t end) {
-    auto states = job->table().partition(p);
-    ScatterOps ops(job->program().acc_kind(), states);
-    uint64_t vertex_computes = 0;
-    const DynamicBitset& active = job->active_[p];
+  if (options_.straggler_split) {
+    // Every worker can steal chunks of any job in the batch: the straggler's remaining
+    // vertices are consumed by whichever cores come free (Fig. 6). Cursors live in the
+    // stage's arena — one per batch slot, reset here, no allocation per batch.
+    task_slot_.clear();
+    for (uint32_t j = 0; j < batch.size(); ++j) {
+      cursors_[j].store(0, std::memory_order_relaxed);
+      const size_t tasks_for_job =
+          std::min<size_t>(options_.num_workers, n_words / grain_words + 1);
+      task_slot_.insert(task_slot_.end(), tasks_for_job, j);
+    }
+    pool_->RunBatch(task_slot_.size(), [&](size_t task) {
+      const uint32_t j = task_slot_[task];
+      Job* const job = batch[j];
+      std::atomic<size_t>& cursor = cursors_[j];
+      while (true) {
+        const size_t begin = cursor.fetch_add(grain_words, std::memory_order_relaxed);
+        if (begin >= n_words) {
+          return;
+        }
+        ProcessWords(p, part, job, begin, std::min(begin + grain_words, n_words));
+      }
+    });
+  } else {
+    // Ablation: one task per job — a skewed job becomes the straggler.
+    pool_->RunBatch(batch.size(),
+                    [&](size_t j) { ProcessWords(p, part, batch[j], 0, n_words); });
+  }
+}
+
+void TriggerStage::ProcessWords(PartitionId p, const GraphPartition& part, Job* job,
+                                size_t word_begin, size_t word_end) const {
+  auto states = job->table().partition(p);
+  ScatterOps ops(job->program().acc_kind(), states);
+  uint64_t vertex_computes = 0;
+  const DynamicBitset& active = job->active_[p];
+  if (options_.sparse_trigger) {
+    // Word-level frontier scan: 64 inactive vertices cost one load + compare, and active
+    // vertices are visited in the same ascending order as the dense loop.
+    active.ForEachSetBitInWords(word_begin, word_end, [&](size_t v) {
+      job->program().Compute(part, static_cast<LocalVertexId>(v), states, ops);
+      ++vertex_computes;
+    });
+  } else {
+    // Dense ablation sweep: per-vertex Test over the same word range.
+    const size_t begin = word_begin * 64;
+    const size_t end = std::min(word_end * 64, static_cast<size_t>(part.num_local_vertices()));
     for (size_t v = begin; v < end; ++v) {
       if (active.Test(v)) {
         job->program().Compute(part, static_cast<LocalVertexId>(v), states, ops);
         ++vertex_computes;
       }
     }
-    // Flush counters with atomic adds: several workers may finish chunks of the same job
-    // concurrently.
-    std::atomic_ref<uint64_t>(job->stats_.vertex_computes)
-        .fetch_add(vertex_computes, std::memory_order_relaxed);
-    std::atomic_ref<uint64_t>(job->stats_.edge_traversals)
-        .fetch_add(ops.edge_traversals(), std::memory_order_relaxed);
-    std::atomic_ref<uint64_t>(job->stats_.compute_units)
-        .fetch_add(vertex_computes + ops.edge_traversals(), std::memory_order_relaxed);
-  };
-
-  std::vector<std::function<void()>> tasks;
-  if (options_.straggler_split) {
-    // Every worker can steal chunks of any job in the batch: the straggler's remaining
-    // vertices are consumed by whichever cores come free (Fig. 6).
-    for (const JobTask& jt : job_tasks) {
-      const size_t tasks_for_job = std::min<size_t>(
-          options_.num_workers, (n + grain - 1) / std::max<size_t>(grain, 1) + 1);
-      for (size_t t = 0; t < tasks_for_job; ++t) {
-        tasks.push_back([jt, n, grain, &process_range] {
-          while (true) {
-            const size_t begin = jt.cursor->fetch_add(grain, std::memory_order_relaxed);
-            if (begin >= n) {
-              return;
-            }
-            process_range(jt.job, begin, std::min(begin + grain, n));
-          }
-        });
-      }
-    }
-  } else {
-    // Ablation: one task per job — a skewed job becomes the straggler.
-    for (const JobTask& jt : job_tasks) {
-      tasks.push_back([jt, n, &process_range] { process_range(jt.job, 0, n); });
-    }
   }
-  pool_->RunAndWait(std::move(tasks));
+  // Flush counters with atomic adds: several workers may finish chunks of the same job
+  // concurrently.
+  std::atomic_ref<uint64_t>(job->stats_.vertex_computes)
+      .fetch_add(vertex_computes, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(job->stats_.edge_traversals)
+      .fetch_add(ops.edge_traversals(), std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(job->stats_.compute_units)
+      .fetch_add(vertex_computes + ops.edge_traversals(), std::memory_order_relaxed);
 }
 
 }  // namespace cgraph

@@ -6,10 +6,21 @@
 // worker steal vertex chunks of any job in the batch so a skewed job's remaining vertices
 // are consumed by whichever cores come free (Fig. 6). With straggler splitting disabled
 // (ablation) each job becomes a single task and skew serializes on one core.
+//
+// The sweep itself is frontier-aware: active-vertex bitmask words are scanned 64 bits at
+// a time (DynamicBitset::ForEachSetBitInWords), chunks are claimed word-aligned from
+// per-job cursors held in a reused member arena, and dispatch goes through
+// ThreadPool::RunBatch — no per-task heap allocation anywhere on the path. Cost is
+// proportional to the frontier, not the partition; modeled metrics are identical to the
+// dense sweep (EngineOptions::sparse_trigger toggles it for ablation).
 
 #ifndef SRC_CORE_TRIGGER_STAGE_H_
 #define SRC_CORE_TRIGGER_STAGE_H_
 
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/cache/memory_hierarchy.h"
@@ -26,16 +37,28 @@ class TriggerStage {
   TriggerStage(ThreadPool* pool, MemoryHierarchy* hierarchy, const EngineOptions& options);
 
   // Triggers partition p's loaded structure for every job in `group`, charging each
-  // job's private-partition access as its batch rotates in.
+  // job's private-partition access as its batch rotates in. Fully converged (job,
+  // partition) pairs — active count zero — are skipped before batching.
   void Run(PartitionId p, const GraphPartition& part, const std::vector<Job*>& group);
 
  private:
-  void TriggerBatch(PartitionId p, const GraphPartition& part,
-                    const std::vector<Job*>& batch);
+  void TriggerBatch(PartitionId p, const GraphPartition& part, std::span<Job* const> batch);
+
+  // Sweeps words [word_begin, word_end) of the job's partition-p active mask, invoking
+  // Compute on each set bit (or the dense per-vertex loop under the ablation), and
+  // flushes the stat counters with atomic adds.
+  void ProcessWords(PartitionId p, const GraphPartition& part, Job* job, size_t word_begin,
+                    size_t word_end) const;
 
   ThreadPool* pool_;
   MemoryHierarchy* hierarchy_;
   EngineOptions options_;
+
+  // Reused dispatch arenas (sized once): per-batch-slot word cursors for straggler chunk
+  // claiming, the batch's surviving jobs, and the task-index -> batch-slot map.
+  std::unique_ptr<std::atomic<size_t>[]> cursors_;
+  std::vector<Job*> batch_scratch_;
+  std::vector<uint32_t> task_slot_;
 };
 
 }  // namespace cgraph

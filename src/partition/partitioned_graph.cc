@@ -339,6 +339,16 @@ PartitionedGraph PartitionedGraphBuilder::Build(const EdgeList& edges,
         part.mirror_refs_[cursor[master_local]++] = ref;
       }
       part.structure_bytes_ = ComputeStructureBytes(part);
+
+      // Mirror index: the sync-only vertex sets, ascending, so the Push stage sweeps
+      // replicas instead of every local vertex.
+      for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+        if (!part.vertices_[v].is_master) {
+          part.mirror_locals_.push_back(v);
+        } else if (part.mirror_offsets_[v + 1] > part.mirror_offsets_[v]) {
+          part.replicated_masters_.push_back(v);
+        }
+      }
     }
   }
 

@@ -74,6 +74,19 @@ class GraphPartition {
     return {mirror_refs_.data() + mirror_offsets_[v], mirror_offsets_[v + 1] - mirror_offsets_[v]};
   }
 
+  // Mirror index (built once by PartitionedGraphBuilder): the local ids that are mirror
+  // replicas, ascending. The Push stage's mirror-delta collection walks exactly these
+  // instead of filtering every local vertex.
+  std::span<const LocalVertexId> mirror_locals() const { return mirror_locals_; }
+
+  // The local ids that are masters with at least one mirror elsewhere, ascending — the
+  // only vertices whose merged values the broadcast phase can need to re-send.
+  std::span<const LocalVertexId> replicated_masters() const { return replicated_masters_; }
+
+  // Total mirror replicas of this partition's masters (== sum of mirrors_of() sizes);
+  // bounds the mirror->master sync records this partition can receive in one iteration.
+  uint64_t num_mirror_refs() const { return mirror_refs_.size(); }
+
   // Bytes this partition's structure occupies (vertex records + both CSR directions);
   // drives the cache/memory simulation.
   uint64_t structure_bytes() const { return structure_bytes_; }
@@ -101,6 +114,9 @@ class GraphPartition {
   std::vector<Weight> in_weights_;
   std::vector<uint64_t> mirror_offsets_;
   std::vector<ReplicaRef> mirror_refs_;
+  // Derived indices (not counted in structure_bytes_, which models the paper's layout).
+  std::vector<LocalVertexId> mirror_locals_;
+  std::vector<LocalVertexId> replicated_masters_;
 };
 
 // How edges are assigned to partitions.

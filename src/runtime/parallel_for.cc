@@ -14,21 +14,15 @@ void ParallelFor(ThreadPool& pool, size_t n, const ParallelForOptions& options,
     return;
   }
 
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  // One batch task per chunk, claimed through RunBatch's atomic cursor: same dynamic
+  // load balancing as the old per-worker drain loops, but with no std::function heap
+  // traffic and no locked-deque handoff.
   const size_t grain = std::max<size_t>(1, options.grain);
-  auto drain = [cursor, grain, n, &body] {
-    while (true) {
-      const size_t begin = cursor->fetch_add(grain, std::memory_order_relaxed);
-      if (begin >= n) {
-        return;
-      }
-      body(begin, std::min(begin + grain, n));
-    }
-  };
-
-  // One drain task per worker; each keeps claiming chunks until the range is exhausted.
-  std::vector<std::function<void()>> tasks(pool.num_workers(), drain);
-  pool.RunAndWait(std::move(tasks));
+  const size_t chunks = (n + grain - 1) / grain;
+  pool.RunBatch(chunks, [&](size_t chunk) {
+    const size_t begin = chunk * grain;
+    body(begin, std::min(begin + grain, n));
+  });
 }
 
 }  // namespace cgraph

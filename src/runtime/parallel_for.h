@@ -1,19 +1,17 @@
 // Dynamic-chunk parallel loops.
 //
-// ParallelFor splits [0, n) into chunks claimed from a shared atomic counter. Because idle
-// workers keep claiming chunks until the range is exhausted, a worker stuck on a heavy
-// chunk never blocks the others — this is exactly the paper's straggler mitigation
-// (section 3.2.3): the private partition of the job with the most unprocessed vertices is
-// logically divided into pieces consumed by free cores.
+// ParallelFor splits [0, n) into chunks claimed from a shared atomic counter (via
+// ThreadPool::RunBatch, so dispatch allocates nothing). Because idle workers keep
+// claiming chunks until the range is exhausted, a worker stuck on a heavy chunk never
+// blocks the others — this is exactly the paper's straggler mitigation (section 3.2.3):
+// the private partition of the job with the most unprocessed vertices is logically
+// divided into pieces consumed by free cores.
 
 #ifndef SRC_RUNTIME_PARALLEL_FOR_H_
 #define SRC_RUNTIME_PARALLEL_FOR_H_
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
-#include <memory>
-#include <vector>
 
 #include "src/runtime/thread_pool.h"
 

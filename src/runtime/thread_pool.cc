@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/common/check.h"
+
 namespace cgraph {
 
 ThreadPool::ThreadPool(size_t num_workers) {
@@ -68,12 +70,80 @@ void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
   }
 }
 
+void ThreadPool::RunBatch(size_t n_tasks, BatchFn fn) {
+  if (n_tasks == 0) {
+    return;
+  }
+  if (n_tasks == 1) {
+    fn(0);  // Nothing to share: run inline without touching the mutex.
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    CGRAPH_CHECK(!batch_open_);  // Single driver thread; RunBatch must not nest.
+    batch_fn_ = fn;
+    batch_size_ = n_tasks;
+    batch_cursor_.store(0, std::memory_order_relaxed);
+    batch_completed_.store(0, std::memory_order_relaxed);
+    ++batch_epoch_;
+    batch_open_ = true;
+  }
+  work_available_.notify_all();
+
+  DrainBatch(fn, n_tasks);  // The caller claims indices like any worker.
+
+  // Wait for completion AND for every worker to leave DrainBatch: a straggler that is
+  // about to bump the cursor must not observe the next batch's reset cursor.
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] { return !batch_open_ && batch_drainers_ == 0; });
+}
+
+void ThreadPool::DrainBatch(BatchFn fn, size_t n_tasks) {
+  while (true) {
+    const size_t i = batch_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_tasks) {
+      return;
+    }
+    fn(i);
+    // acq_rel: the thread that retires the last index must observe every other claimer's
+    // writes before the RunBatch caller resumes past the batch.
+    if (batch_completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_tasks) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_open_ = false;
+      }
+      batch_done_.notify_all();
+    }
+  }
+}
+
 void ThreadPool::WorkerLoop() {
+  uint64_t drained_epoch = 0;  // Last batch epoch this worker already pulled from.
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+    work_available_.wait(lock, [this, drained_epoch] {
+      return shutting_down_ || !queue_.empty() ||
+             (batch_open_ && batch_epoch_ != drained_epoch);
+    });
+    if (batch_open_ && batch_epoch_ != drained_epoch) {
+      drained_epoch = batch_epoch_;
+      const BatchFn fn = batch_fn_;
+      const size_t n = batch_size_;
+      ++batch_drainers_;
+      lock.unlock();
+      DrainBatch(fn, n);
+      lock.lock();
+      --batch_drainers_;
+      if (batch_drainers_ == 0 && !batch_open_) {
+        batch_done_.notify_all();
+      }
+      continue;
+    }
     if (shutting_down_ && queue_.empty()) {
       return;
+    }
+    if (queue_.empty()) {
+      continue;  // Woken for a batch already marked drained; re-wait.
     }
     auto task = std::move(queue_.front());
     queue_.pop_front();

@@ -1,12 +1,19 @@
-// Fixed-size worker pool with a shared task queue.
+// Fixed-size worker pool with a shared task queue and an allocation-free batch primitive.
 //
 // One pool is created per executor run with `num_workers` threads (the paper's "workers",
-// one per core). Tasks are type-erased closures; RunAndWait() submits a batch and blocks
-// until all complete, which is the building block for the trigger stage of the LTP model.
+// one per core). Two dispatch paths exist:
+//
+//  - Submit()/RunAndWait(): type-erased closures through a locked deque. General-purpose,
+//    but every task heap-allocates a std::function and bounces the queue mutex.
+//  - RunBatch(n, fn): the hot path. The n task indices are handed out through a single
+//    atomic cursor; workers and the caller claim indices lock-free and invoke the borrowed
+//    FunctionRef. Nothing is allocated and the mutex is taken only to open/close the
+//    batch, so per-partition trigger dispatch stops serializing on the deque lock.
 
 #ifndef SRC_RUNTIME_THREAD_POOL_H_
 #define SRC_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,10 +22,15 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/function_ref.h"
+
 namespace cgraph {
 
 class ThreadPool {
  public:
+  // Invoked once per claimed task index in [0, n_tasks).
+  using BatchFn = FunctionRef<void(size_t)>;
+
   // Spawns `num_workers` threads. num_workers == 0 is clamped to 1.
   explicit ThreadPool(size_t num_workers);
 
@@ -38,8 +50,20 @@ class ThreadPool {
   // progress even when called from the single worker context.
   void RunAndWait(std::vector<std::function<void()>> tasks);
 
+  // Invokes fn(i) exactly once for every i in [0, n_tasks), distributing indices to the
+  // calling thread and the pool's workers through an atomic cursor. Blocks until every
+  // index has been processed; `fn` is borrowed for exactly that long. No per-task
+  // allocation. n_tasks <= 1 runs inline without waking anyone. Not reentrant: fn must
+  // not call RunBatch (or RunAndWait) on the same pool, and only one thread may drive
+  // batches at a time — in the engine that is the single LTP driver thread.
+  void RunBatch(size_t n_tasks, BatchFn fn);
+
  private:
   void WorkerLoop();
+
+  // Claims batch indices until the cursor passes the end; the claimer of the last
+  // completed index closes the batch and wakes the RunBatch caller.
+  void DrainBatch(BatchFn fn, size_t n_tasks);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
@@ -47,6 +71,22 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // Tasks popped but not yet finished.
   bool shutting_down_ = false;
+
+  // Batch state. fn/size/epoch are written under mutex_ before the batch opens and read
+  // by workers after they observe batch_open_ under the same mutex; the cursor and the
+  // completion count are the only contended words while a batch runs.
+  bool batch_open_ = false;        // Guarded by mutex_.
+  uint64_t batch_epoch_ = 0;       // Guarded by mutex_; bumped per batch so a worker that
+                                   // drained an empty cursor sleeps instead of respinning.
+  size_t batch_drainers_ = 0;      // Guarded by mutex_: workers currently inside
+                                   // DrainBatch. RunBatch returns only once this is 0, so
+                                   // the next batch cannot reset the cursor under a
+                                   // straggling claimer of the previous one.
+  BatchFn batch_fn_;               // Valid while the batch that published it is open.
+  size_t batch_size_ = 0;
+  std::atomic<size_t> batch_cursor_{0};
+  std::atomic<size_t> batch_completed_{0};
+
   std::vector<std::thread> threads_;
 };
 

@@ -57,15 +57,18 @@ class GlobalTable {
   // ("it does not load G_i when there is no job to handle G_i", §3.2.2).
   bool IsActive(PartitionId p) const { return entries_[p].count > 0; }
 
+  // Invokes fn(slot) for each registered job of p in increasing slot order, scanning the
+  // registration bitmask word-at-a-time.
+  template <typename Fn>
+  void ForEachRegistered(PartitionId p, Fn&& fn) const {
+    entries_[p].registered.ForEachSetBit([&fn](size_t j) { fn(static_cast<JobId>(j)); });
+  }
+
   // Collects the registered jobs of p in increasing job id order.
   std::vector<JobId> RegisteredJobs(PartitionId p) const {
     std::vector<JobId> jobs;
     jobs.reserve(entries_[p].count);
-    for (JobId j = 0; j < max_jobs_; ++j) {
-      if (entries_[p].registered.Test(j)) {
-        jobs.push_back(j);
-      }
-    }
+    ForEachRegistered(p, [&jobs](JobId j) { jobs.push_back(j); });
     return jobs;
   }
 

@@ -146,6 +146,107 @@ TEST(BitsetTest, AssignToggles) {
   EXPECT_FALSE(b.Test(3));
 }
 
+// Reference: the bits a naive Test(i) loop finds, in ascending order.
+std::vector<size_t> NaiveSetBits(const DynamicBitset& b) {
+  std::vector<size_t> bits;
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (b.Test(i)) {
+      bits.push_back(i);
+    }
+  }
+  return bits;
+}
+
+std::vector<size_t> ScanSetBits(const DynamicBitset& b) {
+  std::vector<size_t> bits;
+  b.ForEachSetBit([&bits](size_t i) { bits.push_back(i); });
+  return bits;
+}
+
+std::vector<size_t> NextSetBits(const DynamicBitset& b) {
+  std::vector<size_t> bits;
+  for (size_t i = b.NextSetBit(0); i != DynamicBitset::kNpos; i = b.NextSetBit(i + 1)) {
+    bits.push_back(i);
+  }
+  return bits;
+}
+
+TEST(BitsetScanTest, WordScansMatchNaiveOnRandomPatterns) {
+  // Sizes straddle word boundaries: empty tail, full tail, one-word, sub-word.
+  for (const size_t size : {1ul, 63ul, 64ul, 65ul, 127ul, 128ul, 300ul, 1024ul, 1031ul}) {
+    SplitMix64 rng(size * 7919);
+    DynamicBitset b(size);
+    for (size_t i = 0; i < size; ++i) {
+      if (rng.Next() % 3 == 0) {
+        b.Set(i);
+      }
+    }
+    const std::vector<size_t> expected = NaiveSetBits(b);
+    EXPECT_EQ(ScanSetBits(b), expected) << "ForEachSetBit size=" << size;
+    EXPECT_EQ(NextSetBits(b), expected) << "NextSetBit size=" << size;
+    EXPECT_EQ(b.Count(), expected.size()) << "size=" << size;
+  }
+}
+
+TEST(BitsetScanTest, EmptyAndFullPatterns) {
+  for (const size_t size : {1ul, 64ul, 70ul, 192ul}) {
+    DynamicBitset b(size);
+    EXPECT_TRUE(ScanSetBits(b).empty()) << size;
+    EXPECT_EQ(b.NextSetBit(0), DynamicBitset::kNpos) << size;
+    // SetAll must trim the tail word: the scan must never visit a bit >= size.
+    b.SetAll();
+    const std::vector<size_t> expected = NaiveSetBits(b);
+    EXPECT_EQ(expected.size(), size);
+    EXPECT_EQ(ScanSetBits(b), expected) << size;
+    EXPECT_EQ(NextSetBits(b), expected) << size;
+  }
+}
+
+TEST(BitsetScanTest, TailWordBitIsFound) {
+  DynamicBitset b(130);
+  b.Set(129);  // Last representable bit lives in a 2-bit tail word.
+  EXPECT_EQ(b.NextSetBit(0), 129u);
+  EXPECT_EQ(b.NextSetBit(129), 129u);
+  EXPECT_EQ(b.NextSetBit(130), DynamicBitset::kNpos);
+  EXPECT_EQ(ScanSetBits(b), (std::vector<size_t>{129}));
+}
+
+TEST(BitsetScanTest, NextSetBitSkipsBelowFrom) {
+  DynamicBitset b(256);
+  b.Set(3);
+  b.Set(64);
+  b.Set(200);
+  EXPECT_EQ(b.NextSetBit(0), 3u);
+  EXPECT_EQ(b.NextSetBit(4), 64u);
+  EXPECT_EQ(b.NextSetBit(64), 64u);
+  EXPECT_EQ(b.NextSetBit(65), 200u);
+  EXPECT_EQ(b.NextSetBit(201), DynamicBitset::kNpos);
+}
+
+TEST(BitsetScanTest, WordRangeRestrictsScan) {
+  DynamicBitset b(256);
+  for (size_t i = 0; i < 256; i += 5) {
+    b.Set(i);
+  }
+  // Word range [1, 3) covers bit positions [64, 192).
+  std::vector<size_t> got;
+  b.ForEachSetBitInWords(1, 3, [&got](size_t i) { got.push_back(i); });
+  std::vector<size_t> expected;
+  for (size_t i = 0; i < 256; i += 5) {
+    if (i >= 64 && i < 192) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(got, expected);
+
+  // The words() view agrees with Test() word by word.
+  const auto words = b.words();
+  ASSERT_EQ(words.size(), b.num_words());
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ((words[i >> 6] >> (i & 63)) & 1u, b.Test(i) ? 1u : 0u) << i;
+  }
+}
+
 TEST(PrngTest, SplitMixDeterministic) {
   SplitMix64 a(123);
   SplitMix64 b(123);

@@ -18,6 +18,7 @@
 #include "src/algorithms/wcc.h"
 #include "src/core/ltp_engine.h"
 #include "src/graph/generators.h"
+#include "src/metrics/csv_writer.h"
 #include "src/graph/graph.h"
 #include "src/partition/partitioned_graph.h"
 #include "tests/testing/graph_fixtures.h"
@@ -306,6 +307,69 @@ TEST(EngineTest, SnapshotJobsSeeTheirVersions) {
   for (size_t v = 0; v < 4; ++v) {
     EXPECT_LE(engine.FinalValues(new_job)[v], static_cast<double>(v));
   }
+}
+
+// The frontier-aware word-scan sweep is an execution strategy, not a semantics change:
+// with a single worker the whole run is deterministic, so sparse and dense sweeps must
+// produce byte-identical reports (all modeled columns; wall clock excluded).
+TEST(EngineTest, SparseAndDenseTriggerSweepsProduceIdenticalReports) {
+  RmatOptions rmat;
+  rmat.scale = 10;
+  rmat.edge_factor = 8;
+  rmat.seed = 11;
+  const EdgeList edges = GenerateRmat(rmat);
+  const VertexId source = PickSourceVertex(edges);
+  const PartitionedGraph pg = Partition(edges, 12);
+  const CostModel cost;
+
+  auto run = [&](bool sparse) {
+    EngineOptions options = test_support::TestEngineOptions();
+    options.num_workers = 1;  // Single worker: fully deterministic float accumulation.
+    options.sparse_trigger = sparse;
+    LtpEngine engine(&pg, options);
+    engine.AddJob(std::make_unique<PageRankProgram>(0.85, 1e-10));
+    engine.AddJob(std::make_unique<SsspProgram>(source));
+    engine.AddJob(std::make_unique<WccProgram>());
+    engine.AddJob(std::make_unique<BfsProgram>(source));
+    engine.AddJob(std::make_unique<KCoreProgram>(4));
+    RunReport report = engine.Run();
+    for (JobStats& job : report.jobs) {
+      job.wall_seconds = 0.0;  // Wall clock is the one legitimately varying column.
+    }
+    report.wall_seconds = 0.0;
+    return RunReportToCsv(report, cost);
+  };
+
+  EXPECT_EQ(run(/*sparse=*/true), run(/*sparse=*/false));
+}
+
+// Forcing every bookkeeping sweep through the pool's batch dispatch (threshold 0) must
+// not change any modeled metric: counts are integer sums and the active bitmask is
+// written in disjoint words, so chunk order cannot matter.
+TEST(EngineTest, ParallelSweepThresholdZeroMatchesDefault) {
+  const EdgeList edges = GenerateErdosRenyi(500, 4000, 37);
+  const VertexId source = PickSourceVertex(edges);
+  const PartitionedGraph pg = Partition(edges, 8);
+  const CostModel cost;
+
+  auto run = [&](uint32_t threshold) {
+    EngineOptions options = test_support::TestEngineOptions();
+    options.parallel_sweep_threshold = threshold;
+    LtpEngine engine(&pg, options);
+    // Min-accumulator and exact-sum jobs only: deterministic even with 4 workers.
+    engine.AddJob(std::make_unique<SsspProgram>(source));
+    engine.AddJob(std::make_unique<BfsProgram>(source));
+    engine.AddJob(std::make_unique<WccProgram>());
+    engine.AddJob(std::make_unique<KCoreProgram>(3));
+    RunReport report = engine.Run();
+    for (JobStats& job : report.jobs) {
+      job.wall_seconds = 0.0;
+    }
+    report.wall_seconds = 0.0;
+    return RunReportToCsv(report, cost);
+  };
+
+  EXPECT_EQ(run(0), run(test_support::TestEngineOptions().parallel_sweep_threshold));
 }
 
 TEST(EngineTest, ThetaDominanceSchedulerPrefersMoreJobs) {

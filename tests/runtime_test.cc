@@ -66,6 +66,59 @@ TEST(ThreadPoolTest, SubmitIsAsynchronousButEventuallyRuns) {
   EXPECT_EQ(counter.load(), 1);
 }
 
+TEST(ThreadPoolTest, RunBatchCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.RunBatch(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, RunBatchZeroAndOneTasks) {
+  ThreadPool pool(2);
+  pool.RunBatch(0, [](size_t) { FAIL() << "no task should run"; });
+  int calls = 0;
+  size_t seen = 99;
+  pool.RunBatch(1, [&](size_t i) {
+    ++calls;
+    seen = i;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(ThreadPoolTest, RunBatchSequentialBatchesDoNotInterfere) {
+  // Back-to-back batches through the same cursor: a straggling claimer of batch k must
+  // never consume an index of batch k+1.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> counter{0};
+    const size_t n = 1 + static_cast<size_t>(round % 7);
+    pool.RunBatch(n, [&](size_t) { counter.fetch_add(1); });
+    ASSERT_EQ(counter.load(), static_cast<int>(n)) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, RunBatchManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  const size_t n = 10000;
+  pool.RunBatch(n, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, RunBatchInterleavesWithQueueTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> queued{0};
+  pool.Submit([&] { queued.fetch_add(1); });
+  std::atomic<int> batched{0};
+  pool.RunBatch(50, [&](size_t) { batched.fetch_add(1); });
+  EXPECT_EQ(batched.load(), 50);
+  pool.RunAndWait({[] {}});  // Drain: the queued task must have run by now.
+  EXPECT_EQ(queued.load(), 1);
+}
+
 TEST(ParallelForTest, CoversRangeExactlyOnce) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(10000);

@@ -5,8 +5,8 @@
 //              [--jobs=NAME[,NAME...]] [--system=cgraph|cgraph-without|sequential|
 //               seraph|seraph-vt|nxgraph|clip]
 //              [--partitions=N] [--workers=N] [--source=V] [--csv=PATH]
-//              [--theta-scale=X] [--no-straggler] [--chunk-grain=N]
-//              [--arrivals=NAME@STEP[,NAME@STEP...]]
+//              [--theta-scale=X] [--no-straggler] [--dense-trigger] [--chunk-grain=N]
+//              [--sweep-threshold=N] [--arrivals=NAME@STEP[,NAME@STEP...]]
 //
 // Job names: pagerank, sssp, scc, bfs, wcc, kcore, ppr, khop.
 // Default: --rmat=12,8 --jobs=pagerank,sssp,scc,bfs --system=cgraph.
@@ -52,7 +52,9 @@ struct CliOptions {
   VertexId source = kInvalidVertex;  // Default: highest out-degree vertex.
   double theta_scale = 1.0;
   bool straggler_split = true;
-  uint32_t chunk_grain = 0;  // 0 = engine default.
+  bool sparse_trigger = true;
+  uint32_t chunk_grain = 0;       // 0 = engine default.
+  int64_t sweep_threshold = -1;   // < 0 = engine default.
   std::string csv_path;
   bool help = false;
 };
@@ -113,6 +115,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--no-straggler") {
       options->straggler_split = false;
+    } else if (arg == "--dense-trigger") {
+      options->sparse_trigger = false;
+    } else if (match("--sweep-threshold=")) {
+      uint64_t threshold = 0;
+      if (!ParseUint64(value, &threshold) || threshold > 0xFFFFFFFFull) {
+        std::fprintf(stderr, "error: --sweep-threshold expects a vertex count\n");
+        return false;
+      }
+      options->sweep_threshold = static_cast<int64_t>(threshold);
     } else if (match("--chunk-grain=")) {
       uint64_t grain = 0;
       if (!ParseUint64(value, &grain) || grain == 0 || grain > 0xFFFFFFFFull) {
@@ -166,7 +177,11 @@ void PrintUsage() {
       "  --source=V            traversal source (default: highest out-degree)\n"
       "  --theta-scale=X       scale Eq. 1's theta in [0,1] (default 1; 0 = pure N(P))\n"
       "  --no-straggler        disable straggler splitting (one task per job)\n"
+      "  --dense-trigger       disable frontier-aware sweeps (dense per-vertex loop;\n"
+      "                        ablation — modeled metrics are identical either way)\n"
       "  --chunk-grain=N       vertices per stolen work chunk (default 256)\n"
+      "  --sweep-threshold=N   min partition vertices before bookkeeping sweeps use the\n"
+      "                        thread pool (default 8192; 0 always parallel)\n"
       "  --arrivals=J@S,...    submit job J online after S scheduling steps\n"
       "                        (cgraph systems only)\n"
       "  --csv=PATH            also write the report as CSV\n");
@@ -229,8 +244,12 @@ int main(int argc, char** argv) {
   engine_options.num_workers = options.workers;
   engine_options.theta_scale = options.theta_scale;
   engine_options.straggler_split = options.straggler_split;
+  engine_options.sparse_trigger = options.sparse_trigger;
   if (options.chunk_grain > 0) {
     engine_options.chunk_grain = options.chunk_grain;
+  }
+  if (options.sweep_threshold >= 0) {
+    engine_options.parallel_sweep_threshold = static_cast<uint32_t>(options.sweep_threshold);
   }
   const CostModel cost;
 
