@@ -10,6 +10,13 @@
 
 namespace cgraph {
 
+// Which job-level admission policy JobManager uses when a concurrency slot frees up
+// (the upper level of two-level scheduling; see src/core/admission_policy.h).
+enum class AdmissionPolicyKind : uint8_t {
+  kFifo,     // Strict arrival order (default; bit-identical to the pre-policy engine).
+  kOverlap,  // Maximize footprint overlap with running jobs, aging-bounded wait.
+};
+
 struct EngineOptions {
   // Worker threads ("cores"); one trigger task per worker (paper section 3.2.3).
   uint32_t num_workers = 4;
@@ -49,6 +56,16 @@ struct EngineOptions {
 
   // Capacity of the global table's per-partition job set.
   uint32_t max_jobs = 64;
+
+  // Job-level admission: which due waiter a freed slot admits (CLI: --admission).
+  AdmissionPolicyKind admission_policy = AdmissionPolicyKind::kFifo;
+
+  // Overlap-admission aging: score bonus per scheduling step a due job has waited
+  // (CLI: --aging). Overlap is bounded by 1, so a waiter can only be overtaken by jobs
+  // arriving within 1/admission_aging steps of it — bounded overtaking, hence no
+  // starvation (total wait still depends on how long slot-holders run). Must be > 0
+  // under kOverlap; ignored under kFifo.
+  double admission_aging = 1.0 / 256.0;
 
   // Safety valve against non-converging programs.
   uint64_t max_iterations_per_job = 10000;

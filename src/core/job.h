@@ -60,6 +60,11 @@ class Job {
   JobStats& stats() { return stats_; }
   const JobStats& stats() const { return stats_; }
 
+  // Per-partition initially-active vertex counts, the job's expected first-iteration
+  // footprint. Computed lazily — only under footprint-aware admission policies, at the
+  // job's first contended admission decision (empty otherwise); immutable afterwards.
+  const std::vector<uint32_t>& footprint() const { return footprint_; }
+
  private:
   friend class LtpEngine;
   friend class BaselineExecutor;
@@ -95,6 +100,8 @@ class Job {
   uint64_t iteration_ = 0;
   bool finished_ = false;
   JobStats stats_;
+  // See footprint(); sized num_partitions when computed.
+  std::vector<uint32_t> footprint_;
 };
 
 }  // namespace cgraph

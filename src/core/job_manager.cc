@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <string>
 #include <utility>
 
@@ -33,16 +34,33 @@ void SweepRange(ThreadPool* pool, uint32_t num_workers, uint32_t threshold, size
   });
 }
 
+// The initially-active predicate over a vertex's *freshly initialized* state — exactly
+// the state InitJob's fill sweep writes (InitialState with delta_next at the Acc
+// identity) before its first activity sweep evaluates InitiallyActive. ComputeFootprint
+// and InitJob must agree on this evaluation or admission overlap scores drift from the
+// partitions a job actually activates; keep all three sites in lockstep.
+bool InitiallyActiveFresh(const VertexProgram& program, const LocalVertexInfo& info,
+                          double identity) {
+  VertexState state = program.InitialState(info);
+  state.delta_next = identity;
+  return program.InitiallyActive(info, state);
+}
+
 }  // namespace
 
 JobManager::JobManager(const PartitionedGraph& layout, GlobalTable* table,
                        Scheduler* scheduler, ThreadPool* pool, const EngineOptions& options)
     : layout_(layout), table_(table), scheduler_(scheduler), pool_(pool), options_(options),
-      slot_jobs_(options.max_jobs, nullptr) {
+      slot_jobs_(options.max_jobs, nullptr), policy_(MakeAdmissionPolicy(options)) {
   CGRAPH_CHECK(table != nullptr);
   CGRAPH_CHECK(scheduler != nullptr);
   // Zero slots would livelock the drive loop: a due waiter could never be admitted.
   CGRAPH_CHECK(options.max_jobs > 0);
+  // Aging is the overlap policy's starvation bound (a bounded overlap advantage cannot
+  // outrank an unboundedly aged waiter); zero would reopen unbounded waits.
+  if (options.admission_policy == AdmissionPolicyKind::kOverlap) {
+    CGRAPH_CHECK(options.admission_aging > 0.0);
+  }
 }
 
 JobId JobManager::Submit(std::unique_ptr<VertexProgram> program, Timestamp submit_time,
@@ -65,18 +83,75 @@ JobId JobManager::Submit(std::unique_ptr<VertexProgram> program, Timestamp submi
   return id;
 }
 
+void JobManager::ComputeFootprint(Job& job) {
+  const PartitionedGraph& g = layout_;
+  const VertexProgram& program = job.program();
+  const double identity = AccIdentity(program.acc_kind());
+  job.footprint_.assign(g.num_partitions(), 0);
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    // Same per-vertex evaluation InitJob performs, without a private table: chunk counts
+    // are an order-independent integer sum, so the parallel sweep is deterministic.
+    const GraphPartition& part = g.partition(p);
+    std::atomic<uint32_t> total{0};
+    SweepRange(pool_, options_.num_workers, options_.parallel_sweep_threshold,
+               part.num_local_vertices(), [&](size_t begin, size_t end) {
+                 uint32_t count = 0;
+                 for (size_t i = begin; i < end; ++i) {
+                   const LocalVertexId v = static_cast<LocalVertexId>(i);
+                   if (InitiallyActiveFresh(program, part.vertex(v), identity)) {
+                     ++count;
+                   }
+                 }
+                 total.fetch_add(count, std::memory_order_relaxed);
+               });
+    job.footprint_[p] = total.load(std::memory_order_relaxed);
+  }
+}
+
 void JobManager::AdmitDue(uint64_t step) {
   current_step_ = std::max(current_step_, step);
   // A job that finishes during InitJob (nothing initially active) frees its slot before
   // the next loop round, so an arbitrarily long run of instantly-done waiters drains
   // iteratively here rather than recursing.
   while (!waiting_.empty() && waiting_.front().arrival_step <= step) {
-    Job& job = *jobs_[waiting_.front().job];
+    if (running_ >= slot_jobs_.size()) {
+      return;  // Saturated: don't score candidates for a decision that cannot admit.
+    }
+    // The due candidates are a prefix of the (arrival-sorted) queue; the policy chooses
+    // which of them the next free slot admits. FIFO always picks the front — the exact
+    // pre-policy behavior, including "a blocked due job blocks everyone behind it".
+    candidates_.clear();
+    for (const Waiter& w : waiting_) {
+      if (w.arrival_step > step) {
+        break;
+      }
+      candidates_.push_back(AdmissionPolicy::Candidate{
+          w.job, w.arrival_step, &jobs_[w.job]->footprint()});
+    }
+    // Footprints are computed lazily, only when a decision actually has competing
+    // candidates: a lone due job is admitted regardless of its score, so the sweep
+    // would be pure overhead in the uncontended case. Memoized per job (a computed
+    // footprint is never empty — it has one entry per partition); deterministic
+    // whenever computed, since it depends only on the program and the layout.
+    if (policy_->needs_footprints() && candidates_.size() > 1) {
+      for (const AdmissionPolicy::Candidate& c : candidates_) {
+        if (jobs_[c.job]->footprint_.empty()) {
+          ComputeFootprint(*jobs_[c.job]);
+        }
+      }
+    }
+    const AdmissionPolicy::Decision pick =
+        candidates_.size() == 1 ? AdmissionPolicy::Decision{0, 0.0}
+                                : policy_->Pick(candidates_, *table_, step);
+    CGRAPH_CHECK(pick.index < candidates_.size());
+    Job& job = *jobs_[candidates_[pick.index].job];
     const uint32_t slot = AllocateSlot(job);
     if (slot == Job::kInvalidSlot) {
-      return;  // At capacity: the due job (and everyone behind it) keeps waiting.
+      return;  // At capacity: every due job keeps waiting.
     }
-    waiting_.pop_front();
+    job.stats_.wait_steps = step - candidates_[pick.index].arrival_step;
+    job.stats_.admit_overlap = pick.overlap;
+    waiting_.erase(waiting_.begin() + static_cast<ptrdiff_t>(pick.index));
     InitJob(job, slot);
   }
 }
@@ -132,6 +207,8 @@ void JobManager::InitJob(Job& job, uint32_t slot) {
     const GraphPartition& part = g.partition(p);
     auto states = job.table_.partition(p);
     job.active_[p].Resize(part.num_local_vertices());
+    // This fill (and the initial activity sweep over it) is what InitiallyActiveFresh
+    // mirrors for admission footprints — change them together.
     SweepRange(pool_, options_.num_workers, options_.parallel_sweep_threshold,
                part.num_local_vertices(), [&](size_t begin, size_t end) {
                  for (size_t v = begin; v < end; ++v) {

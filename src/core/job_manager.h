@@ -7,11 +7,14 @@
 //   * Submission creates a Job with a stable, unbounded JobId. Jobs become *runnable* once
 //     their arrival step has come (immediately for plain Submit).
 //   * Admission binds a runnable job to a global-table *slot* — the registration bit index,
-//     bounded by EngineOptions::max_jobs. When all slots are busy the job waits in a FIFO
-//     queue instead of crashing; completion of any running job admits the next waiter.
-//     In every legacy scenario (total jobs <= max_jobs) slot == id, so admission order,
-//     registration bits, and hence the whole schedule are identical to the pre-layered
-//     engine.
+//     bounded by EngineOptions::max_jobs. When all slots are busy the job waits in a
+//     queue instead of crashing; completion of any running job admits a waiter chosen by
+//     the configured AdmissionPolicy (EngineOptions::admission_policy). Under the default
+//     FIFO policy admission is strict arrival order and — in every legacy scenario
+//     (total jobs <= max_jobs, slot == id) — admission order, registration bits, and
+//     hence the whole schedule are identical to the pre-layered engine. The overlap
+//     policy instead admits the due waiter with the highest footprint overlap with the
+//     running set (job-level scheduling; see src/core/admission_policy.h).
 //   * All global-table registration (activation tracing) goes through the manager:
 //     RefreshActivity registers next-iteration partitions, MarkProcessed retires them,
 //     FinishJob clears every bit, frees the slot, and finalizes the job's stats — the
@@ -24,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/admission_policy.h"
 #include "src/core/engine_options.h"
 #include "src/core/job.h"
 #include "src/core/scheduler.h"
@@ -46,12 +50,22 @@ class JobManager {
   // Creates a job that becomes runnable once the engine reaches `arrival_step`. Never
   // blocks and never rejects: jobs beyond the concurrency limit queue. Call AdmitDue() to
   // start whatever can start.
+  //
+  // Pre:  called any time, including mid-drive (online submission).
+  // Post: the job exists with a stable id == its submission index; an arrival step in the
+  //       past is clamped to the current step (a later Submit cannot queue-jump already-
+  //       due waiters).
   JobId Submit(std::unique_ptr<VertexProgram> program, Timestamp submit_time,
                uint64_t arrival_step);
 
-  // Admits waiting jobs in arrival order: a job starts once `step` has reached its arrival
-  // step and a slot is free. A due job with no free slot blocks later waiters (FIFO
-  // fairness keeps interleavings deterministic).
+  // Admits waiting jobs while slots are free: each free slot goes to the due waiter
+  // (arrival_step <= step) chosen by the configured AdmissionPolicy — strict arrival
+  // order under FIFO, maximum running-set overlap (with aging) under overlap. When no
+  // slot is free, every due waiter keeps waiting; policy decisions depend only on
+  // modeled state, so interleavings stay deterministic across runs and worker counts.
+  //
+  // Post: either no waiter is due or all slots are occupied; admitted jobs have
+  //       stats().wait_steps and stats().admit_overlap recorded.
   void AdmitDue(uint64_t step);
 
   // True when no job is running and none is waiting.
@@ -69,15 +83,27 @@ class JobManager {
   // Activation tracing (paper section 3.2.2): recomputes the job's activity and
   // next-iteration global-table registration. `swap_buffers` applies the delta
   // double-buffer swap (post-Push); `all_partitions` sweeps everything instead of only
-  // dirty partitions; `initial` uses InitiallyActive. Returns the active-vertex total.
+  // dirty partitions; `initial` uses InitiallyActive.
+  //
+  // Pre:  the job is running (holds a slot).
+  // Post: the global table registers exactly the partitions where the job has active
+  //       vertices; returns the active-vertex total (0 means the job converged).
   uint64_t RefreshActivity(Job& job, bool all_partitions, bool swap_buffers, bool initial);
 
   // Marks partition p handled for the job's current iteration and retires its
-  // registration. Returns true when it was the last partition — the iteration boundary.
+  // registration.
+  //
+  // Pre:  p is registered for the job this iteration (remaining() > 0).
+  // Post: returns true when it was the last partition — the iteration boundary, after
+  //       which the caller runs Push and RefreshActivity.
   bool MarkProcessed(Job& job, PartitionId p);
 
-  // Completes the job: final stats (wall clock), registration teardown, slot release, and
-  // admission of the next waiter.
+  // Completes the job.
+  //
+  // Pre:  the job is running (holds a slot).
+  // Post: finished() is true, stats are final (wall clock stamped), every registration
+  //       bit is cleared, and the freed slot has already admitted the admission
+  //       policy's next pick if any waiter was due.
   void FinishJob(Job& job);
 
   // Mean change fraction of p over running jobs — C(P) of scheduler Eq. 1.
@@ -98,6 +124,12 @@ class JobManager {
   // A free slot for `job` — its own id when available (legacy bit-identity), else the
   // smallest free one — or Job::kInvalidSlot when all are busy.
   uint32_t AllocateSlot(const Job& job);
+
+  // Fills job.footprint_ with per-partition initially-active vertex counts (the state
+  // InitJob would build, without materializing a private table). Called lazily from
+  // AdmitDue — at most once per job, and only when a footprint-aware policy faces a
+  // decision with competing candidates.
+  void ComputeFootprint(Job& job);
 
   // Per-vertex activity sweep of one partition: optional delta double-buffer swap, then
   // active-mask rebuild. Returns the partition's active count. Dispatches through the
@@ -120,6 +152,9 @@ class JobManager {
     uint64_t arrival_step;
   };
   std::deque<Waiter> waiting_;         // Sorted by (arrival_step, submission order).
+  std::unique_ptr<AdmissionPolicy> policy_;
+  // AdmitDue's candidate arena, reused across calls (no per-admission allocation).
+  std::vector<AdmissionPolicy::Candidate> candidates_;
   uint32_t running_ = 0;
   double elapsed_seconds_ = 0.0;
   uint64_t current_step_ = 0;

@@ -81,29 +81,42 @@ class LtpEngine {
   // --- Service API -----------------------------------------------------------------
 
   // Submits a job for online execution. `submit_time` selects the snapshot (ignored
-  // without a store). The job starts immediately if a concurrency slot is free, otherwise
-  // it queues and starts when one frees up. Callable at any point in the engine's life.
+  // without a store).
+  //
+  // Pre:  callable at any point in the engine's life (before, between, after drives).
+  // Post: the job starts immediately when the admission policy grants it a free
+  //       concurrency slot, otherwise it queues and starts when one frees up; the
+  //       returned handle stays valid for the engine's lifetime.
   JobHandle Submit(std::unique_ptr<VertexProgram> program, Timestamp submit_time = 0);
 
   // Like Submit(), but the job becomes runnable only once `arrival_step` partition-
-  // scheduling steps have executed (deterministic arrival injection).
+  // scheduling steps have executed (deterministic arrival injection). An arrival step
+  // already in the past is clamped to "due now" without overtaking earlier due waiters.
   JobHandle SubmitAt(std::unique_ptr<VertexProgram> program, uint64_t arrival_step,
                      Timestamp submit_time = 0);
 
   // Executes one partition-scheduling step: admits due arrivals, loads the highest-
   // priority partition, triggers its jobs, and pushes any finished iterations. Fast-
-  // forwards over idle gaps to the next scheduled arrival. Returns false when the engine
-  // is idle (no running and no waiting jobs).
+  // forwards over idle gaps to the next scheduled arrival.
+  //
+  // Post: returns false iff the engine is idle (no running and no waiting jobs); on
+  //       true, current_step() advanced by one — plus any idle gap skipped to reach
+  //       the next scheduled arrival.
   bool Step();
 
-  // Drives Step() until the engine is idle.
+  // Drives Step() until the engine is idle. Post: AllIdle; every job submitted so far
+  // has finished (each converges or hits max_iterations_per_job, so this terminates).
   void RunUntilIdle();
 
   // Drives the engine until job `id` completes.
+  //
+  // Pre:  `id` was returned by a Submit/SubmitAt/AddJob/ScheduleJob call on this engine.
+  // Post: job(id).finished(); other jobs may have progressed but not necessarily done.
   void Wait(JobId id);
 
-  // Point-in-time report over all jobs submitted so far. Per-job stats are final once the
-  // job completed; hierarchy totals cover everything executed so far.
+  // Point-in-time report over all jobs submitted so far. Per-job stats — including the
+  // admission diagnostics wait_steps/admit_overlap (docs/scheduling.md) — are final once
+  // the job completed; hierarchy totals cover everything executed so far.
   RunReport Report() const;
 
   // Partition-scheduling steps executed so far.

@@ -31,13 +31,20 @@ class Scheduler {
   Scheduler(const PartitionedGraph& graph, bool use_priorities, double theta_scale = 1.0);
 
   // Updates C(P) from a finished iteration: `active_fraction` is the mean over registered
-  // jobs of the fraction of P's vertices whose state changed.
+  // jobs of the fraction of P's vertices whose state changed. Clamped into [0, 1].
   void SetStateChange(PartitionId p, double active_fraction);
 
   // Picks the next partition to load among those with RegisteredCount > 0 and
-  // eligible[p] == true. Returns kInvalidPartition when none qualifies.
+  // eligible[p] == true.
+  //
+  // Pre:  `eligible` has one entry per partition of `table`.
+  // Post: returns the qualifying partition maximizing Eq. 1 (lowest index on ties, and
+  //       plain lowest qualifying index when priorities are disabled), or
+  //       kInvalidPartition when none qualifies. Never mutates state: picking is
+  //       side-effect-free and deterministic.
   PartitionId PickNext(const GlobalTable& table, const std::vector<bool>& eligible) const;
 
+  // Eq. 1 for one partition, reading N(P) from the table.
   double Priority(const GlobalTable& table, PartitionId p) const;
 
   // Eq. 1 with N(P) already in hand, so PickNext reads the global table once per

@@ -22,6 +22,13 @@ struct JobStats {
   uint64_t compute_units = 0;     // Edge traversals + vertex computes + sync records.
   AccessCharge charge;            // Byte flows attributed to this job.
   double wall_seconds = 0.0;
+  // Admission diagnostics (not part of the CSV schema): scheduling steps between the job
+  // becoming runnable and its admission, and the overlap score the admission policy
+  // assigned at admit time. admit_overlap is 0 under FIFO and for *uncontended*
+  // admissions (a lone due candidate is admitted without scoring — footprints are
+  // computed lazily, only for decisions with competitors).
+  uint64_t wait_steps = 0;
+  double admit_overlap = 0.0;
 
   double ModeledComputeTime(const CostModel& model, uint32_t workers) const {
     return model.ComputeCost(compute_units) / std::max<uint32_t>(1, workers);

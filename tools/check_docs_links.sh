@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Checks that every local markdown link in README.md and docs/*.md resolves to an
+# existing file (anchors are stripped; http(s)/mailto links are skipped — no network).
+# Exits non-zero listing every broken link. Used by the CI docs job; run locally as
+#   tools/check_docs_links.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILES=(README.md docs/*.md)
+BROKEN=0
+
+for file in "${FILES[@]}"; do
+  dir=$(dirname "$file")
+  # Inline markdown links: [text](target). One link per line after the grep split;
+  # code spans are rare enough in these docs that false positives would just be
+  # nonexistent-path reports, which the existence check below surfaces loudly.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;   # External: not checked (offline CI).
+      \#*) continue ;;                           # Same-file anchor.
+    esac
+    path="${target%%#*}"                         # Strip a trailing anchor.
+    [ -z "$path" ] && continue
+    # Relative to the linking file's directory.
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $file -> $target"
+      BROKEN=1
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$file" | sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/')
+done
+
+if [ "$BROKEN" -ne 0 ]; then
+  echo "docs link check FAILED" >&2
+  exit 1
+fi
+echo "docs link check OK (${#FILES[@]} files)"

@@ -11,8 +11,18 @@
 # columns are identical across runs and worker counts by construction (asserted by the
 # engine's tests), so they are taken from the last run.
 #
+# The record additionally carries an "admission" section comparing the fifo and overlap
+# job-admission policies (docs/scheduling.md) on a staggered-arrival overlapping job mix
+# with a constrained slot pool: per-policy mean/max wait steps (deterministic for a
+# fixed workload), wall seconds, and jobs/s.
+#
 # Usage: tools/run_bench.sh [BUILD_DIR] (default: build/release-all, configured on demand)
 # Env:   OUT=path/to/record.json   override the output path (default: BENCH_ltp.json)
+#        SMOKE=1                   skip the throughput sweep; run only the admission
+#                                  comparison at workers=1 and FAIL if the overlap
+#                                  policy does not reduce mean wait steps vs fifo
+#                                  (wait steps are modeled, so this is deterministic —
+#                                  CI uses it as a policy-regression gate)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,14 +39,30 @@ PARTITIONS=32
 WORKERS_SWEEP="1 4"
 RUNS_PER_POINT=3
 
-if [ ! -x "$BUILD_DIR/tools/cgraph_cli" ]; then
+# Admission-comparison workload: two full-coverage jobs hold both slots while a
+# staggered queue of traversal jobs (low-degree source => localized footprints) and one
+# repeat full-coverage job builds up, so the overlap policy has real reordering room.
+# Wait steps are a pure function of the modeled schedule: identical across runs,
+# machines, and worker counts.
+ADM_RMAT="12,8"
+ADM_SOURCE=555
+ADM_JOBS="pagerank,wcc"
+ADM_ARRIVALS="wcc@5,bfs@10,sssp@15,khop@20,ppr@25"
+ADM_PARTITIONS=32
+ADM_MAX_JOBS=2
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build "$BUILD_DIR" -j --target cgraph_cli >/dev/null
 fi
+# Always refresh the CLI: an existing binary may predate flags this script uses.
+cmake --build "$BUILD_DIR" -j --target cgraph_cli >/dev/null
 
 CSV=$(mktemp)
 WALLS=$(mktemp)
-trap 'rm -f "$CSV" "$WALLS"' EXIT
+ADMISSION=$(mktemp)
+ADM_POINT=$(mktemp)
+ADM_CSV=$(mktemp)
+trap 'rm -f "$CSV" "$WALLS" "$ADMISSION" "$ADM_POINT" "$ADM_CSV"' EXIT
 
 # CSV columns: executor,job,iterations,vertex_computes,edge_traversals,push_updates,
 # compute_units,hit_bytes,mem_bytes,disk_bytes,modeled_compute,modeled_access,
@@ -46,6 +72,39 @@ run_point() {  # $1 = workers; prints the total row's wall_seconds
     --partitions="$PARTITIONS" --workers="$1" --csv="$CSV" >/dev/null
   awk -F, '$2 == "total" { print $14 }' "$CSV"
 }
+
+run_admission() {  # $1 = policy, $2 = workers; prints "mean_wait max_wait wall_seconds"
+  local stdout mean max wall
+  stdout=$("$BUILD_DIR/tools/cgraph_cli" --rmat="$ADM_RMAT" --source="$ADM_SOURCE" \
+    --jobs="$ADM_JOBS" --arrivals="$ADM_ARRIVALS" --partitions="$ADM_PARTITIONS" \
+    --max-jobs="$ADM_MAX_JOBS" --workers="$2" --admission="$1" --csv="$ADM_CSV")
+  mean=$(sed -n 's/.*mean_wait_steps=\([0-9.]*\).*/\1/p' <<<"$stdout")
+  max=$(sed -n 's/.*max_wait_steps=\([0-9]*\).*/\1/p' <<<"$stdout")
+  wall=$(awk -F, '$2 == "total" { print $14 }' "$ADM_CSV")
+  if [ -z "$mean" ] || [ -z "$max" ] || [ -z "$wall" ]; then
+    echo "error: could not parse admission stats from cgraph_cli output" >&2
+    exit 1
+  fi
+  echo "$mean $max $wall"
+}
+
+if [ "${SMOKE:-0}" = "1" ]; then
+  # Policy-regression gate: wait steps are modeled, so a single workers=1 run of each
+  # policy is enough, and the comparison is exact. (Plain command + file, not command
+  # substitution, so an exit inside run_admission aborts the script.)
+  run_admission fifo 1 > "$ADM_POINT"
+  read -r FIFO_MEAN FIFO_MAX FIFO_WALL < "$ADM_POINT"
+  run_admission overlap 1 > "$ADM_POINT"
+  read -r OV_MEAN OV_MAX OV_WALL < "$ADM_POINT"
+  echo "admission smoke (workers=1): fifo mean_wait=$FIFO_MEAN max=$FIFO_MAX;" \
+       "overlap mean_wait=$OV_MEAN max=$OV_MAX"
+  awk -v f="$FIFO_MEAN" -v o="$OV_MEAN" 'BEGIN { exit (o < f) ? 0 : 1 }' || {
+    echo "FAIL: overlap admission no longer reduces mean wait steps vs fifo" >&2
+    exit 1
+  }
+  echo "OK: overlap reduces mean wait steps ($FIFO_MEAN -> $OV_MEAN)"
+  exit 0
+fi
 
 : > "$WALLS"  # Lines of "<workers> <median_wall>".
 for W in $WORKERS_SWEEP; do
@@ -58,7 +117,27 @@ for W in $WORKERS_SWEEP; do
   rm -f "$POINT"
 done
 
-# $CSV now holds the last (workers=4) run; modeled columns are run-invariant.
+# Admission comparison at the headline worker count.
+run_admission fifo 4 > "$ADM_POINT"
+read -r FIFO_MEAN FIFO_MAX FIFO_WALL < "$ADM_POINT"
+run_admission overlap 4 > "$ADM_POINT"
+read -r OV_MEAN OV_MAX OV_WALL < "$ADM_POINT"
+# Jobs in the admission workload, derived from its report (per-job CSV rows) so the
+# count cannot drift from ADM_JOBS/ADM_ARRIVALS edits.
+ADM_NUM_JOBS=$(awk -F, 'NR > 1 && $2 != "total"' "$ADM_CSV" | wc -l)
+{
+  printf '  "admission": {\n'
+  printf '    "config": {"rmat": "%s", "source": %d, "jobs": "%s", "arrivals": "%s", ' \
+         "$ADM_RMAT" "$ADM_SOURCE" "$ADM_JOBS" "$ADM_ARRIVALS"
+  printf '"partitions": %d, "max_jobs": %d, "workers": 4},\n' "$ADM_PARTITIONS" "$ADM_MAX_JOBS"
+  awk -v n="$ADM_NUM_JOBS" -v mean="$FIFO_MEAN" -v max="$FIFO_MAX" -v wall="$FIFO_WALL" \
+    'BEGIN { printf "    \"fifo\": {\"mean_wait_steps\": %s, \"max_wait_steps\": %s, \"wall_seconds\": %s, \"jobs_per_second_wall\": %.4f},\n", mean, max, wall, (wall > 0 ? n / wall : 0) }'
+  awk -v n="$ADM_NUM_JOBS" -v mean="$OV_MEAN" -v max="$OV_MAX" -v wall="$OV_WALL" \
+    'BEGIN { printf "    \"overlap\": {\"mean_wait_steps\": %s, \"max_wait_steps\": %s, \"wall_seconds\": %s, \"jobs_per_second_wall\": %.4f}\n", mean, max, wall, (wall > 0 ? n / wall : 0) }'
+  printf '  }\n'
+} > "$ADMISSION"
+
+# $CSV still holds the last (workers=4) sweep run; modeled columns are run-invariant.
 awk -F, -v rmat="$RMAT" -v jobs="$JOBS" -v arrivals="$ARRIVALS" \
     -v partitions="$PARTITIONS" -v sweep="$WORKERS_SWEEP" -v runs="$RUNS_PER_POINT" \
     -v walls_file="$WALLS" '
@@ -97,8 +176,9 @@ awk -F, -v rmat="$RMAT" -v jobs="$JOBS" -v arrivals="$ARRIVALS" \
     printf "  \"jobs_per_second_wall\": %.4f,\n", wall_tp
     printf "  \"jobs_per_modeled_unit\": %.6g,\n", modeled_tp
     printf "  \"total_compute_units\": %s,\n", compute_units
-    printf "  \"bytes_below_cache\": %s\n", below_cache
-    printf "}\n"
+    printf "  \"bytes_below_cache\": %s,\n", below_cache
   }' "$CSV" > "$OUT"
+cat "$ADMISSION" >> "$OUT"
+echo "}" >> "$OUT"
 
 echo "wrote $OUT"
