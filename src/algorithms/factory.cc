@@ -22,13 +22,22 @@ VertexId PickSourceVertex(const EdgeList& edges) {
   for (const Edge& e : edges.edges()) {
     ++out_degree[e.src];
   }
-  VertexId best = 0;
-  for (VertexId v = 1; v < edges.num_vertices(); ++v) {
-    if (out_degree[v] > out_degree[best]) {
+  // Smallest *positive* out-degree, lowest id on ties. A hub source is replicated into
+  // nearly every partition under vertex-cut partitioning, so traversals rooted at one
+  // have near-full initial footprints and footprint-aware admission (overlap/predict)
+  // cannot discriminate between them; a low-degree source keeps traversal footprints
+  // localized. Zero-out-degree vertices are excluded — a traversal from one never
+  // leaves its source.
+  VertexId best = kInvalidVertex;
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (out_degree[v] == 0) {
+      continue;
+    }
+    if (best == kInvalidVertex || out_degree[v] < out_degree[best]) {
       best = v;
     }
   }
-  return best;
+  return best == kInvalidVertex ? 0 : best;
 }
 
 std::unique_ptr<VertexProgram> MakeProgram(const std::string& name, VertexId source,

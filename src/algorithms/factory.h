@@ -12,9 +12,12 @@
 
 namespace cgraph {
 
-// Deterministic source pick for SSSP/BFS: the vertex with the highest out-degree (lowest
-// id on ties) — mirrors the common practice of rooting traversals at a hub so they reach
-// most of a power-law graph.
+// Deterministic source pick for SSSP/BFS/PPR/k-hop: the vertex with the *smallest
+// positive* out-degree (lowest id on ties), or 0 when no vertex has outgoing edges.
+// A hub source is replicated into nearly every partition under vertex-cut partitioning,
+// which defeats footprint-aware admission (every traversal looks full-graph at
+// submission); a low-degree source keeps traversal footprints localized while still
+// traversing. Pass an explicit source (CLI --source) to root at a hub instead.
 VertexId PickSourceVertex(const EdgeList& edges);
 
 // Creates a program by name: "pagerank", "sssp", "scc", "bfs", "wcc", "kcore", "ppr",

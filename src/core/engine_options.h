@@ -15,6 +15,9 @@ namespace cgraph {
 enum class AdmissionPolicyKind : uint8_t {
   kFifo,     // Strict arrival order (default; bit-identical to the pre-policy engine).
   kOverlap,  // Maximize footprint overlap with running jobs, aging-bounded wait.
+  kPredict,  // Maximize lifetime-forecast overlap from completed-job history
+             // (src/core/footprint_history.h); falls back to kOverlap scoring for
+             // program types with no completed history yet.
 };
 
 struct EngineOptions {
@@ -60,12 +63,33 @@ struct EngineOptions {
   // Job-level admission: which due waiter a freed slot admits (CLI: --admission).
   AdmissionPolicyKind admission_policy = AdmissionPolicyKind::kFifo;
 
-  // Overlap-admission aging: score bonus per scheduling step a due job has waited
-  // (CLI: --aging). Overlap is bounded by 1, so a waiter can only be overtaken by jobs
-  // arriving within 1/admission_aging steps of it — bounded overtaking, hence no
-  // starvation (total wait still depends on how long slot-holders run). Must be > 0
-  // under kOverlap; ignored under kFifo.
+  // Overlap/predict-admission aging: score bonus per scheduling step a due job has
+  // waited (CLI: --aging). Both overlap scores are bounded by 1, so a waiter can only be
+  // overtaken by jobs arriving within 1/admission_aging steps of it — bounded
+  // overtaking, hence no starvation (total wait still depends on how long slot-holders
+  // run). Must be > 0 under kOverlap/kPredict; ignored under kFifo.
   double admission_aging = 1.0 / 256.0;
+
+  // Footprint-history decay (CLI: --history-decay): each program type's occupancy
+  // profile is a decayed mean over its completed jobs — prior contributions are scaled
+  // by this factor before a new job folds in. 1 = plain mean over all history, 0 = only
+  // the most recent job. Must be in [0, 1]; consulted under kPredict.
+  double history_decay = 0.5;
+
+  // Lifetime buckets of the occupancy profile (CLI: --history-buckets): each completed
+  // job's per-iteration partition trace is normalized onto this many equal slices of its
+  // lifetime before folding into the profile. More buckets resolve frontier movement
+  // finer at proportionally more profile memory. Must be > 0 under kPredict.
+  uint32_t history_buckets = 8;
+
+  // Admission-time slot placement (CLI: --slot-pools): when > 1, the max_jobs slots are
+  // partitioned into this many contiguous pools and an admitted job joins the pool whose
+  // running cohort its (predicted, or initial-footprint) partition weights overlap most,
+  // taking the pool's lowest free slot. 1 (default) keeps the legacy placement
+  // (slot == job id when free, else lowest free slot), which FIFO bit-identity relies
+  // on. Placement affects only slot indices — and hence per-partition trigger order of
+  // co-registered jobs — never which job is admitted.
+  uint32_t slot_pools = 1;
 
   // Safety valve against non-converging programs.
   uint64_t max_iterations_per_job = 10000;

@@ -19,6 +19,10 @@
 //     RefreshActivity registers next-iteration partitions, MarkProcessed retires them,
 //     FinishJob clears every bit, frees the slot, and finalizes the job's stats — the
 //     per-job report is complete the moment the job completes, not at engine teardown.
+//   * Under the predict policy the manager doubles as the history feedback loop: the
+//     activation-tracing sets RefreshActivity computes are recorded per iteration on the
+//     job, folded into the FootprintHistory at completion, and consulted by the next
+//     admission decision (and, with slot_pools > 1, by admission-time slot placement).
 
 #ifndef SRC_CORE_JOB_MANAGER_H_
 #define SRC_CORE_JOB_MANAGER_H_
@@ -29,6 +33,7 @@
 
 #include "src/core/admission_policy.h"
 #include "src/core/engine_options.h"
+#include "src/core/footprint_history.h"
 #include "src/core/job.h"
 #include "src/core/scheduler.h"
 #include "src/partition/partitioned_graph.h"
@@ -109,6 +114,14 @@ class JobManager {
   // Mean change fraction of p over running jobs — C(P) of scheduler Eq. 1.
   double MeanStateChange(PartitionId p) const;
 
+  // The per-program-type lifetime-footprint profiles learned from completed jobs.
+  // Pre: the admission policy consumes history (predict) — the subsystem does not
+  // exist (and its knobs are not validated) under fifo/overlap.
+  const FootprintHistory& history() const {
+    CGRAPH_CHECK(history_ != nullptr);
+    return *history_;
+  }
+
   // Engine-maintained clocks, consumed by FinishJob (stats) and slot-release admission.
   void set_elapsed_seconds(double seconds) { elapsed_seconds_ = seconds; }
   void set_current_step(uint64_t step) { current_step_ = step; }
@@ -119,11 +132,18 @@ class JobManager {
   // admit loop reuses the freed slot; no recursion).
   void InitJob(Job& job, uint32_t slot);
   // Completion bookkeeping without follow-on admission: final stats, registration
-  // teardown, slot release.
+  // teardown, slot release — and, under history-consuming policies, folding the job's
+  // activation trace into the footprint history.
   void FinalizeJob(Job& job);
-  // A free slot for `job` — its own id when available (legacy bit-identity), else the
-  // smallest free one — or Job::kInvalidSlot when all are busy.
-  uint32_t AllocateSlot(const Job& job);
+  // A free slot for `job`, or Job::kInvalidSlot when all are busy. With slot_pools == 1
+  // (default): the job's own id when available (legacy bit-identity), else the smallest
+  // free one. With slot_pools > 1: the lowest free slot of the pool whose running cohort
+  // the job's partition weights (history forecast, else initial footprint) overlap most
+  // — admission-time placement; records stats().admit_pool.
+  uint32_t AllocateSlot(Job& job);
+  // The placement score of `job` against the union of partitions currently active for
+  // a cohort (`needed`, one flag per partition).
+  double PlacementScore(Job& job, const std::vector<bool>& needed);
 
   // Fills job.footprint_ with per-partition initially-active vertex counts (the state
   // InitJob would build, without materializing a private table). Called lazily from
@@ -152,9 +172,16 @@ class JobManager {
     uint64_t arrival_step;
   };
   std::deque<Waiter> waiting_;         // Sorted by (arrival_step, submission order).
+  // Declared before policy_ (the predict policy borrows a pointer); null under
+  // policies that never consult history, so fifo/overlap pay nothing for the
+  // subsystem and its knobs go unvalidated there.
+  std::unique_ptr<FootprintHistory> history_;
   std::unique_ptr<AdmissionPolicy> policy_;
-  // AdmitDue's candidate arena, reused across calls (no per-admission allocation).
+  // AdmitDue's candidate/runner arenas and AllocateSlot's cohort mask, reused across
+  // calls (no per-admission allocation).
   std::vector<AdmissionPolicy::Candidate> candidates_;
+  std::vector<PredictedRunner> runners_;
+  std::vector<bool> cohort_needed_;
   uint32_t running_ = 0;
   double elapsed_seconds_ = 0.0;
   uint64_t current_step_ = 0;

@@ -24,11 +24,21 @@ struct JobStats {
   double wall_seconds = 0.0;
   // Admission diagnostics (not part of the CSV schema): scheduling steps between the job
   // becoming runnable and its admission, and the overlap score the admission policy
-  // assigned at admit time. admit_overlap is 0 under FIFO and for *uncontended*
-  // admissions (a lone due candidate is admitted without scoring — footprints are
-  // computed lazily, only for decisions with competitors).
+  // assigned at admit time. admit_scored separates "scored zero" from "never scored":
+  // it is false under FIFO and for *uncontended* admissions (a lone due candidate is
+  // admitted without scoring — footprints are computed lazily, only for decisions with
+  // competitors), where admit_overlap's 0 carries no information and aggregations must
+  // skip the job. admit_predicted marks scores produced by the footprint-history
+  // forecast (predict policy, program type with completed history) — predicted_overlap
+  // then repeats the forecast value — rather than the initial-footprint snapshot.
+  // admit_pool is the slot pool the job was placed into (0 unless
+  // EngineOptions::slot_pools > 1).
   uint64_t wait_steps = 0;
   double admit_overlap = 0.0;
+  double predicted_overlap = 0.0;
+  bool admit_scored = false;
+  bool admit_predicted = false;
+  uint32_t admit_pool = 0;
 
   double ModeledComputeTime(const CostModel& model, uint32_t workers) const {
     return model.ComputeCost(compute_units) / std::max<uint32_t>(1, workers);

@@ -122,13 +122,21 @@ TEST(FactoryTest, BenchmarkMixCyclesPaperOrder) {
   EXPECT_EQ(names[5], "sssp");
 }
 
-TEST(FactoryTest, PickSourceIsMaxOutDegree) {
+TEST(FactoryTest, PickSourceIsLowestPositiveOutDegree) {
   EdgeList edges;
   edges.Add(0, 1);
   edges.Add(2, 0);
   edges.Add(2, 1);
   edges.Add(2, 3);
-  EXPECT_EQ(PickSourceVertex(edges), 2u);
+  // Out-degrees: v0 = 1, v1 = 0, v2 = 3, v3 = 0. The hub (v2) is skipped — a low-degree
+  // source keeps traversal footprints localized — and so are the zero-out-degree sinks.
+  EXPECT_EQ(PickSourceVertex(edges), 0u);
+  // Ties break toward the lowest id.
+  EdgeList tied;
+  tied.Add(1, 0);
+  tied.Add(2, 0);
+  EXPECT_EQ(PickSourceVertex(tied), 1u);
+  // No vertex has outgoing edges: fall back to 0.
   EXPECT_EQ(PickSourceVertex(EdgeList{}), 0u);
 }
 

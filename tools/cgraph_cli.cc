@@ -7,7 +7,8 @@
 //              [--partitions=N] [--workers=N] [--source=V] [--csv=PATH]
 //              [--theta-scale=X] [--no-straggler] [--dense-trigger] [--chunk-grain=N]
 //              [--sweep-threshold=N] [--arrivals=NAME@STEP[,NAME@STEP...]]
-//              [--admission=fifo|overlap] [--aging=X] [--max-jobs=N]
+//              [--admission=fifo|overlap|predict] [--aging=X] [--max-jobs=N]
+//              [--history-decay=X] [--history-buckets=N] [--slot-pools=N]
 //
 // Job names: pagerank, sssp, scc, bfs, wcc, kcore, ppr, khop.
 // Default: --rmat=12,8 --jobs=pagerank,sssp,scc,bfs --system=cgraph.
@@ -64,6 +65,9 @@ struct CliOptions {
   AdmissionPolicyKind admission = AdmissionPolicyKind::kFifo;
   double aging = -1.0;            // < 0 = engine default.
   uint32_t max_jobs = 0;          // 0 = engine default.
+  double history_decay = -1.0;    // < 0 = engine default.
+  uint32_t history_buckets = 0;   // 0 = engine default.
+  uint32_t slot_pools = 0;        // 0 = engine default.
   std::string csv_path;
   bool help = false;
 };
@@ -142,7 +146,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->chunk_grain = static_cast<uint32_t>(grain);
     } else if (match("--admission=")) {
       if (!ParseAdmissionPolicyName(value, &options->admission)) {
-        std::fprintf(stderr, "error: --admission expects fifo or overlap\n");
+        std::fprintf(stderr, "error: --admission expects fifo, overlap, or predict\n");
         return false;
       }
     } else if (match("--aging=")) {
@@ -159,6 +163,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->max_jobs = static_cast<uint32_t>(max_jobs);
+    } else if (match("--history-decay=")) {
+      char* end = nullptr;
+      options->history_decay = std::strtod(value, &end);
+      if (end == value || *end != '\0' || options->history_decay < 0.0 ||
+          options->history_decay > 1.0) {
+        std::fprintf(stderr, "error: --history-decay expects a number in [0, 1]\n");
+        return false;
+      }
+    } else if (match("--history-buckets=")) {
+      uint64_t buckets = 0;
+      if (!ParseUint64(value, &buckets) || buckets == 0 || buckets > 0xFFFFu) {
+        std::fprintf(stderr, "error: --history-buckets expects a count in [1, 65535]\n");
+        return false;
+      }
+      options->history_buckets = static_cast<uint32_t>(buckets);
+    } else if (match("--slot-pools=")) {
+      uint64_t pools = 0;
+      if (!ParseUint64(value, &pools) || pools == 0 || pools > 0xFFFFu) {
+        std::fprintf(stderr, "error: --slot-pools expects a count in [1, 65535]\n");
+        return false;
+      }
+      options->slot_pools = static_cast<uint32_t>(pools);
     } else if (match("--arrivals=")) {
       for (const auto piece : SplitNonEmpty(value, ",")) {
         const size_t at = piece.find('@');
@@ -202,7 +228,8 @@ void PrintUsage() {
       "                        seraph-vt, nxgraph, clip\n"
       "  --partitions=N        graph partitions (default 16)\n"
       "  --workers=N           worker threads (default 4)\n"
-      "  --source=V            traversal source (default: highest out-degree)\n"
+      "  --source=V            traversal source (default: lowest positive out-degree —\n"
+      "                        a localized footprint; pass a hub id to fan out wide)\n"
       "  --theta-scale=X       scale Eq. 1's theta in [0,1] (default 1; 0 = pure N(P))\n"
       "  --no-straggler        disable straggler splitting (one task per job)\n"
       "  --dense-trigger       disable frontier-aware sweeps (dense per-vertex loop;\n"
@@ -212,13 +239,23 @@ void PrintUsage() {
       "                        thread pool (default 8192; 0 always parallel)\n"
       "  --arrivals=J@S,...    submit job J online after S scheduling steps\n"
       "                        (cgraph systems only)\n"
-      "  --admission=NAME      job-level admission policy: fifo (default) or overlap\n"
-      "                        (admit the due waiter sharing most active partitions\n"
-      "                        with the running set; cgraph systems only)\n"
-      "  --aging=X             overlap-admission score bonus per waited step (default\n"
+      "  --admission=NAME      job-level admission policy (cgraph systems only):\n"
+      "                        fifo (default), overlap (admit the due waiter sharing\n"
+      "                        most initially-active partitions with the running set),\n"
+      "                        or predict (score by forecast lifetime overlap learned\n"
+      "                        from completed jobs of the same type; falls back to\n"
+      "                        overlap scoring for types with no history)\n"
+      "  --aging=X             overlap/predict score bonus per waited step (default\n"
       "                        1/256; only jobs arriving within 1/X steps of a due\n"
       "                        waiter can overtake it)\n"
       "  --max-jobs=N          concurrency slots before admission queues (default 64)\n"
+      "  --history-decay=X     footprint-history decay in [0,1] (default 0.5): profile\n"
+      "                        contributions are scaled by X before each new completion\n"
+      "                        folds in (1 = plain mean, 0 = latest job only)\n"
+      "  --history-buckets=N   lifetime buckets of the occupancy profile (default 8)\n"
+      "  --slot-pools=N        admission-time placement: partition the slots into N\n"
+      "                        pools and admit each job into the pool its predicted\n"
+      "                        footprint overlaps most (default 1 = legacy placement)\n"
       "  --csv=PATH            also write the report as CSV\n");
 }
 
@@ -297,6 +334,15 @@ int main(int argc, char** argv) {
   if (options.max_jobs > 0) {
     engine_options.max_jobs = options.max_jobs;
   }
+  if (options.history_decay >= 0.0) {
+    engine_options.history_decay = options.history_decay;
+  }
+  if (options.history_buckets > 0) {
+    engine_options.history_buckets = options.history_buckets;
+  }
+  if (options.slot_pools > 0) {
+    engine_options.slot_pools = options.slot_pools;
+  }
   const CostModel cost;
 
   RunReport report;
@@ -363,21 +409,41 @@ int main(int argc, char** argv) {
   if (is_cgraph_system) {
     // Parseable admission summary (consumed by tools/run_bench.sh): per-job wait steps
     // are scheduling steps between becoming runnable and admission, deterministic for a
-    // fixed workload and policy.
+    // fixed workload and policy. Overlap means aggregate only *scored* admissions
+    // (contended decisions under a footprint-aware policy) — unscored jobs report
+    // admit_overlap = 0 without ever having been scored, and averaging them in would
+    // dilute the signal.
     uint64_t total_wait = 0;
     uint64_t max_wait = 0;
     size_t waited = 0;
+    size_t scored = 0;
+    size_t predicted = 0;
+    double scored_overlap = 0.0;
+    double predicted_overlap = 0.0;
     for (const auto& job : report.jobs) {
       total_wait += job.wait_steps;
       max_wait = std::max(max_wait, job.wait_steps);
       waited += job.wait_steps > 0 ? 1 : 0;
+      if (job.admit_scored) {
+        ++scored;
+        scored_overlap += job.admit_overlap;
+      }
+      if (job.admit_predicted) {
+        ++predicted;
+        predicted_overlap += job.predicted_overlap;
+      }
     }
     const double mean_wait =
         report.jobs.empty() ? 0.0
                             : static_cast<double>(total_wait) / static_cast<double>(report.jobs.size());
-    std::printf("admission: policy=%s mean_wait_steps=%.4f max_wait_steps=%llu waited_jobs=%zu\n",
-                std::string(AdmissionPolicyKindName(options.admission)).c_str(), mean_wait,
-                static_cast<unsigned long long>(max_wait), waited);
+    std::printf(
+        "admission: policy=%s mean_wait_steps=%.4f max_wait_steps=%llu waited_jobs=%zu "
+        "scored_jobs=%zu mean_admit_overlap=%.4f predicted_jobs=%zu "
+        "mean_predicted_overlap=%.4f\n",
+        std::string(AdmissionPolicyKindName(options.admission)).c_str(), mean_wait,
+        static_cast<unsigned long long>(max_wait), waited, scored,
+        scored == 0 ? 0.0 : scored_overlap / static_cast<double>(scored), predicted,
+        predicted == 0 ? 0.0 : predicted_overlap / static_cast<double>(predicted));
   }
 
   if (!options.csv_path.empty()) {

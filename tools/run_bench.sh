@@ -11,18 +11,21 @@
 # columns are identical across runs and worker counts by construction (asserted by the
 # engine's tests), so they are taken from the last run.
 #
-# The record additionally carries an "admission" section comparing the fifo and overlap
-# job-admission policies (docs/scheduling.md) on a staggered-arrival overlapping job mix
-# with a constrained slot pool: per-policy mean/max wait steps (deterministic for a
-# fixed workload), wall seconds, and jobs/s.
+# The record additionally carries an "admission" section comparing the fifo, overlap,
+# and predict job-admission policies (docs/scheduling.md) on a staggered-arrival
+# overlapping job mix with a constrained slot pool: per-policy mean/max wait steps
+# (deterministic for a fixed workload), scored-admission overlap means (only contended
+# decisions are scored; unscored jobs are excluded from the mean), wall seconds, and
+# jobs/s.
 #
 # Usage: tools/run_bench.sh [BUILD_DIR] (default: build/release-all, configured on demand)
 # Env:   OUT=path/to/record.json   override the output path (default: BENCH_ltp.json)
 #        SMOKE=1                   skip the throughput sweep; run only the admission
-#                                  comparison at workers=1 and FAIL if the overlap
-#                                  policy does not reduce mean wait steps vs fifo
-#                                  (wait steps are modeled, so this is deterministic —
-#                                  CI uses it as a policy-regression gate)
+#                                  comparison at workers=1 and FAIL unless overlap
+#                                  reduces mean wait steps vs fifo AND predict reduces
+#                                  them further vs overlap (wait steps are modeled, so
+#                                  this is deterministic — CI uses it as a
+#                                  policy-regression gate)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,14 +43,16 @@ WORKERS_SWEEP="1 4"
 RUNS_PER_POINT=3
 
 # Admission-comparison workload: two full-coverage jobs hold both slots while a
-# staggered queue of traversal jobs (low-degree source => localized footprints) and one
-# repeat full-coverage job builds up, so the overlap policy has real reordering room.
-# Wait steps are a pure function of the modeled schedule: identical across runs,
-# machines, and worker counts.
+# staggered queue of repeated traversal and full-coverage jobs builds up, so the
+# footprint-aware policies have real reordering room and the predict policy sees
+# completed history for every queued type (each repeats an earlier submission).
+# Traversals root at the default source — deterministically the lowest-positive-
+# out-degree vertex, so their footprints stay localized instead of replicating
+# hub-style into every partition. Wait steps are a pure function of the modeled
+# schedule: identical across runs, machines, and worker counts.
 ADM_RMAT="12,8"
-ADM_SOURCE=555
 ADM_JOBS="pagerank,wcc"
-ADM_ARRIVALS="wcc@5,bfs@10,sssp@15,khop@20,ppr@25"
+ADM_ARRIVALS="bfs@5,sssp@10,wcc@15,bfs@20,sssp@25,wcc@30"
 ADM_PARTITIONS=32
 ADM_MAX_JOBS=2
 
@@ -73,36 +78,56 @@ run_point() {  # $1 = workers; prints the total row's wall_seconds
   awk -F, '$2 == "total" { print $14 }' "$CSV"
 }
 
-run_admission() {  # $1 = policy, $2 = workers; prints "mean_wait max_wait wall_seconds"
-  local stdout mean max wall
-  stdout=$("$BUILD_DIR/tools/cgraph_cli" --rmat="$ADM_RMAT" --source="$ADM_SOURCE" \
+run_admission() {  # $1 = policy, $2 = workers;
+  # prints "mean_wait max_wait scored_jobs mean_admit_overlap wall_seconds".
+  # mean_admit_overlap already aggregates *scored* admissions only (the CLI skips
+  # unscored jobs, whose admit_overlap = 0 was never computed by any decision).
+  local stdout mean max scored overlap wall
+  stdout=$("$BUILD_DIR/tools/cgraph_cli" --rmat="$ADM_RMAT" \
     --jobs="$ADM_JOBS" --arrivals="$ADM_ARRIVALS" --partitions="$ADM_PARTITIONS" \
     --max-jobs="$ADM_MAX_JOBS" --workers="$2" --admission="$1" --csv="$ADM_CSV")
   mean=$(sed -n 's/.*mean_wait_steps=\([0-9.]*\).*/\1/p' <<<"$stdout")
   max=$(sed -n 's/.*max_wait_steps=\([0-9]*\).*/\1/p' <<<"$stdout")
+  scored=$(sed -n 's/.*scored_jobs=\([0-9]*\).*/\1/p' <<<"$stdout")
+  overlap=$(sed -n 's/.*mean_admit_overlap=\([0-9.]*\).*/\1/p' <<<"$stdout")
   wall=$(awk -F, '$2 == "total" { print $14 }' "$ADM_CSV")
-  if [ -z "$mean" ] || [ -z "$max" ] || [ -z "$wall" ]; then
+  if [ -z "$mean" ] || [ -z "$max" ] || [ -z "$scored" ] || [ -z "$overlap" ] ||
+     [ -z "$wall" ]; then
     echo "error: could not parse admission stats from cgraph_cli output" >&2
     exit 1
   fi
-  echo "$mean $max $wall"
+  echo "$mean $max $scored $overlap $wall"
 }
 
 if [ "${SMOKE:-0}" = "1" ]; then
   # Policy-regression gate: wait steps are modeled, so a single workers=1 run of each
-  # policy is enough, and the comparison is exact. (Plain command + file, not command
+  # policy is enough, and the comparisons are exact. (Plain command + file, not command
   # substitution, so an exit inside run_admission aborts the script.)
   run_admission fifo 1 > "$ADM_POINT"
-  read -r FIFO_MEAN FIFO_MAX FIFO_WALL < "$ADM_POINT"
+  read -r FIFO_MEAN FIFO_MAX FIFO_SCORED FIFO_OVERLAP FIFO_WALL < "$ADM_POINT"
   run_admission overlap 1 > "$ADM_POINT"
-  read -r OV_MEAN OV_MAX OV_WALL < "$ADM_POINT"
+  read -r OV_MEAN OV_MAX OV_SCORED OV_OVERLAP OV_WALL < "$ADM_POINT"
+  run_admission predict 1 > "$ADM_POINT"
+  read -r PR_MEAN PR_MAX PR_SCORED PR_OVERLAP PR_WALL < "$ADM_POINT"
   echo "admission smoke (workers=1): fifo mean_wait=$FIFO_MEAN max=$FIFO_MAX;" \
-       "overlap mean_wait=$OV_MEAN max=$OV_MAX"
+       "overlap mean_wait=$OV_MEAN max=$OV_MAX;" \
+       "predict mean_wait=$PR_MEAN max=$PR_MAX"
   awk -v f="$FIFO_MEAN" -v o="$OV_MEAN" 'BEGIN { exit (o < f) ? 0 : 1 }' || {
     echo "FAIL: overlap admission no longer reduces mean wait steps vs fifo" >&2
     exit 1
   }
-  echo "OK: overlap reduces mean wait steps ($FIFO_MEAN -> $OV_MEAN)"
+  awk -v o="$OV_MEAN" -v p="$PR_MEAN" 'BEGIN { exit (p < o) ? 0 : 1 }' || {
+    echo "FAIL: predict admission no longer reduces mean wait steps vs overlap" >&2
+    exit 1
+  }
+  # FIFO never scores an admission; the footprint-aware policies must have scored the
+  # contended ones (the scored flag separates those from unscored zero-overlap jobs).
+  if [ "$FIFO_SCORED" != "0" ] || [ "$OV_SCORED" = "0" ] || [ "$PR_SCORED" = "0" ]; then
+    echo "FAIL: scored-admission counts are wrong (fifo=$FIFO_SCORED overlap=$OV_SCORED predict=$PR_SCORED)" >&2
+    exit 1
+  fi
+  echo "OK: overlap reduces mean wait steps ($FIFO_MEAN -> $OV_MEAN)," \
+       "predict reduces them further ($OV_MEAN -> $PR_MEAN)"
   exit 0
 fi
 
@@ -119,21 +144,27 @@ done
 
 # Admission comparison at the headline worker count.
 run_admission fifo 4 > "$ADM_POINT"
-read -r FIFO_MEAN FIFO_MAX FIFO_WALL < "$ADM_POINT"
+read -r FIFO_MEAN FIFO_MAX FIFO_SCORED FIFO_OVERLAP FIFO_WALL < "$ADM_POINT"
 run_admission overlap 4 > "$ADM_POINT"
-read -r OV_MEAN OV_MAX OV_WALL < "$ADM_POINT"
+read -r OV_MEAN OV_MAX OV_SCORED OV_OVERLAP OV_WALL < "$ADM_POINT"
+run_admission predict 4 > "$ADM_POINT"
+read -r PR_MEAN PR_MAX PR_SCORED PR_OVERLAP PR_WALL < "$ADM_POINT"
 # Jobs in the admission workload, derived from its report (per-job CSV rows) so the
 # count cannot drift from ADM_JOBS/ADM_ARRIVALS edits.
 ADM_NUM_JOBS=$(awk -F, 'NR > 1 && $2 != "total"' "$ADM_CSV" | wc -l)
+emit_policy() {  # $1 name, $2 mean, $3 max, $4 scored, $5 overlap, $6 wall, $7 trailing comma
+  awk -v name="$1" -v n="$ADM_NUM_JOBS" -v mean="$2" -v max="$3" -v scored="$4" \
+      -v overlap="$5" -v wall="$6" -v comma="$7" \
+    'BEGIN { printf "    \"%s\": {\"mean_wait_steps\": %s, \"max_wait_steps\": %s, \"scored_jobs\": %s, \"mean_admit_overlap_scored\": %s, \"wall_seconds\": %s, \"jobs_per_second_wall\": %.4f}%s\n", name, mean, max, scored, overlap, wall, (wall > 0 ? n / wall : 0), comma }'
+}
 {
   printf '  "admission": {\n'
-  printf '    "config": {"rmat": "%s", "source": %d, "jobs": "%s", "arrivals": "%s", ' \
-         "$ADM_RMAT" "$ADM_SOURCE" "$ADM_JOBS" "$ADM_ARRIVALS"
+  printf '    "config": {"rmat": "%s", "source": "low-degree-default", "jobs": "%s", "arrivals": "%s", ' \
+         "$ADM_RMAT" "$ADM_JOBS" "$ADM_ARRIVALS"
   printf '"partitions": %d, "max_jobs": %d, "workers": 4},\n' "$ADM_PARTITIONS" "$ADM_MAX_JOBS"
-  awk -v n="$ADM_NUM_JOBS" -v mean="$FIFO_MEAN" -v max="$FIFO_MAX" -v wall="$FIFO_WALL" \
-    'BEGIN { printf "    \"fifo\": {\"mean_wait_steps\": %s, \"max_wait_steps\": %s, \"wall_seconds\": %s, \"jobs_per_second_wall\": %.4f},\n", mean, max, wall, (wall > 0 ? n / wall : 0) }'
-  awk -v n="$ADM_NUM_JOBS" -v mean="$OV_MEAN" -v max="$OV_MAX" -v wall="$OV_WALL" \
-    'BEGIN { printf "    \"overlap\": {\"mean_wait_steps\": %s, \"max_wait_steps\": %s, \"wall_seconds\": %s, \"jobs_per_second_wall\": %.4f}\n", mean, max, wall, (wall > 0 ? n / wall : 0) }'
+  emit_policy fifo "$FIFO_MEAN" "$FIFO_MAX" "$FIFO_SCORED" "$FIFO_OVERLAP" "$FIFO_WALL" ","
+  emit_policy overlap "$OV_MEAN" "$OV_MAX" "$OV_SCORED" "$OV_OVERLAP" "$OV_WALL" ","
+  emit_policy predict "$PR_MEAN" "$PR_MAX" "$PR_SCORED" "$PR_OVERLAP" "$PR_WALL" ""
   printf '  }\n'
 } > "$ADMISSION"
 
