@@ -1,5 +1,6 @@
 #include "src/algorithms/factory.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/algorithms/bfs.h"
@@ -38,6 +39,30 @@ VertexId PickSourceVertex(const EdgeList& edges) {
     }
   }
   return best == kInvalidVertex ? 0 : best;
+}
+
+std::vector<VertexId> PickSourcePool(const EdgeList& edges, size_t count) {
+  std::vector<uint32_t> out_degree(edges.num_vertices(), 0);
+  for (const Edge& e : edges.edges()) {
+    ++out_degree[e.src];
+  }
+  // Same localized-footprint rationale as PickSourceVertex, generalized to the `count`
+  // best candidates. A full sort is fine here: pools are small and the call is once per
+  // daemon run.
+  std::vector<VertexId> candidates;
+  for (VertexId v = 0; v < edges.num_vertices(); ++v) {
+    if (out_degree[v] > 0) {
+      candidates.push_back(v);
+    }
+  }
+  if (candidates.empty()) {
+    return {0};
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](VertexId a, VertexId b) {
+    return out_degree[a] != out_degree[b] ? out_degree[a] < out_degree[b] : a < b;
+  });
+  candidates.resize(std::min(candidates.size(), std::max<size_t>(count, 1)));
+  return candidates;
 }
 
 std::unique_ptr<VertexProgram> MakeProgram(const std::string& name, VertexId source,

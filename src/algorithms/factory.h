@@ -20,6 +20,12 @@ namespace cgraph {
 // traversing. Pass an explicit source (CLI --source) to root at a hub instead.
 VertexId PickSourceVertex(const EdgeList& edges);
 
+// The `count` vertices with the smallest positive out-degree, ordered by
+// (out-degree, id) — a deterministic pool of localized traversal roots for the service
+// daemon's trace generator (src/service/trace_gen.h). Returns fewer when the graph has
+// fewer vertices with outgoing edges, and {0} when it has none.
+std::vector<VertexId> PickSourcePool(const EdgeList& edges, size_t count);
+
 // Creates a program by name: "pagerank", "sssp", "scc", "bfs", "wcc", "kcore", "ppr",
 // "khop". `source` feeds sssp/bfs/ppr/khop; `k` feeds kcore and khop.
 std::unique_ptr<VertexProgram> MakeProgram(const std::string& name, VertexId source,

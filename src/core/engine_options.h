@@ -57,6 +57,14 @@ struct EngineOptions {
   // 0 forces the parallel path (used by tests to cover it on small fixtures).
   uint32_t parallel_sweep_threshold = 1u << 13;
 
+  // A trigger batch dispatches through the thread pool only when its jobs together hold
+  // at least this many active vertices in the picked partition; smaller batches run
+  // inline on the driver thread — waking workers for a handful of frontier words costs
+  // more than the sweep (the workers=4 < workers=1 regression on small partitions).
+  // 0 forces pooled dispatch (tests use it to cover the parallel path on small
+  // fixtures). Modeled metrics are identical either way; only wall time differs.
+  uint32_t parallel_trigger_threshold = 1u << 12;
+
   // Capacity of the global table's per-partition job set.
   uint32_t max_jobs = 64;
 

@@ -187,6 +187,28 @@ void JobManager::AdmitDue(uint64_t step) {
   }
 }
 
+bool JobManager::CancelWaiting(JobId id) {
+  CGRAPH_CHECK(id < jobs_.size());
+  Job& job = *jobs_[id];
+  if (job.started_ || job.finished_) {
+    return false;  // Admitted or done: sheds only ever retire queued work.
+  }
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->job == id) {
+      waiting_.erase(it);
+      job.finished_ = true;
+      job.stats_.shed = true;
+      job.stats_.finish_step = current_step_;
+      // Never admitted: no slot, no registrations, no private table — nothing to tear
+      // down, and wall_seconds stays 0 like any job that never computed.
+      return true;
+    }
+  }
+  // Every unstarted, unfinished job is in the waiting queue by construction.
+  CGRAPH_CHECK(false);
+  return false;
+}
+
 uint64_t JobManager::NextArrivalStep() const {
   CGRAPH_CHECK(!waiting_.empty());
   return waiting_.front().arrival_step;
@@ -440,6 +462,7 @@ void JobManager::FinalizeJob(Job& job) {
   table_->UnregisterEverywhere(job.slot_);
   job.remaining_ = 0;
   job.stats_.wall_seconds = elapsed_seconds_;
+  job.stats_.finish_step = current_step_;
   slot_jobs_[job.slot_] = nullptr;
   job.slot_ = Job::kInvalidSlot;
   CGRAPH_CHECK(running_ > 0);

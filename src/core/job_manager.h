@@ -73,9 +73,24 @@ class JobManager {
   //       stats().wait_steps and stats().admit_overlap recorded.
   void AdmitDue(uint64_t step);
 
+  // Cancels a job that is still waiting for admission (the service layer's shed hook:
+  // deadline expiry and queue-bound backpressure both retire queued work through here).
+  //
+  // Pre:  `id` was returned by Submit on this manager.
+  // Post: returns true iff the job was waiting — it is then finished with
+  //       stats().shed = true, zero work, and finish_step stamped; it never held a slot
+  //       and FinalValues-style readback is invalid for it. Returns false (no-op) when
+  //       the job already started or finished: running jobs are never shed, they bound
+  //       queue wait, not execution (docs/service.md).
+  bool CancelWaiting(JobId id);
+
   // True when no job is running and none is waiting.
   bool AllIdle() const { return running_ == 0 && waiting_.empty(); }
   bool HasWaiting() const { return !waiting_.empty(); }
+  // Jobs submitted but not yet admitted (includes future-scheduled arrivals). The
+  // service layer's backpressure signal: a bounded daemon sheds at the door when this
+  // reaches its queue bound.
+  size_t NumWaiting() const { return waiting_.size(); }
   // Smallest arrival step among waiting jobs; only meaningful when HasWaiting().
   uint64_t NextArrivalStep() const;
 

@@ -122,6 +122,21 @@ class LtpEngine {
   // Partition-scheduling steps executed so far.
   uint64_t current_step() const { return step_; }
 
+  // --- Service-daemon hooks (src/service/; see docs/service.md) ------------------
+
+  // Jobs submitted but not yet admitted — the daemon's backpressure signal.
+  size_t NumWaiting() const { return manager_->NumWaiting(); }
+
+  // Sheds a job that is still queued for admission (deadline expiry / queue bound).
+  // Returns true iff the job was waiting; it is then finished with stats().shed set and
+  // zero work. Running or finished jobs are untouched (returns false).
+  bool CancelWaiting(JobId id) { return manager_->CancelWaiting(id); }
+
+  // Mutable per-job stats for service-layer annotations (coalesced_callers,
+  // deadline_step). Engine behavior never reads these fields; modeled metrics are
+  // unaffected by any value written here.
+  JobStats& MutableStats(JobId id) { return manager_->job(id).stats(); }
+
   // --- Legacy batch API ------------------------------------------------------------
 
   // Registers a job. Must be called before Run(); admission beyond max_jobs is a

@@ -50,6 +50,22 @@ void TriggerStage::TriggerBatch(PartitionId p, const GraphPartition& part,
   if (n_words == 0 || batch.empty()) {
     return;
   }
+  // Small batches run inline: below the active-work threshold, pool dispatch (wake-ups,
+  // cursor traffic, batch open/close) costs more than sweeping the few frontier words on
+  // the driver thread. Per-job word order is ascending either way, so modeled metrics
+  // and results are identical to the pooled path.
+  if (options_.parallel_trigger_threshold > 0) {
+    uint64_t batch_active = 0;
+    for (const Job* job : batch) {
+      batch_active += job->active_count_[p];
+    }
+    if (batch_active < options_.parallel_trigger_threshold) {
+      for (Job* job : batch) {
+        ProcessWords(p, part, job, 0, n_words);
+      }
+      return;
+    }
+  }
   // Chunks are claimed in whole bitmask words so a grain never straddles a word and the
   // sparse scan needs no partial-word masking.
   const size_t grain_words =

@@ -10,7 +10,9 @@
 // The sweep itself is frontier-aware: active-vertex bitmask words are scanned 64 bits at
 // a time (DynamicBitset::ForEachSetBitInWords), chunks are claimed word-aligned from
 // per-job cursors held in a reused member arena, and dispatch goes through
-// ThreadPool::RunBatch — no per-task heap allocation anywhere on the path. Cost is
+// ThreadPool::RunBatch — no per-task heap allocation anywhere on the path. Batches whose
+// jobs hold fewer than EngineOptions::parallel_trigger_threshold active vertices run
+// inline on the driver thread instead (dispatch would cost more than the sweep). Cost is
 // proportional to the frontier, not the partition; modeled metrics are identical to the
 // dense sweep (EngineOptions::sparse_trigger toggles it for ablation).
 

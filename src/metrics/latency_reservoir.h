@@ -1,0 +1,90 @@
+// Streaming latency reservoir: p50/p95/p99 over an unbounded observation stream in
+// bounded memory.
+//
+// The service daemon observes one latency per completed request — thousands per run,
+// unbounded over a daemon's lifetime — and must report percentiles without retaining
+// every sample. This is classic reservoir sampling (Vitter's Algorithm R) with a
+// deterministic PRNG: while the stream fits in the reservoir the samples are exact and
+// Percentile() is the exact nearest-rank statistic; past capacity each new observation
+// replaces a uniformly-chosen slot with probability capacity/n, keeping the reservoir a
+// uniform sample of everything seen. Determinism matters here more than in most
+// reservoirs: a fixed seed makes percentile values reproducible across runs and worker
+// counts, so CI can gate on them (docs/service.md#percentiles).
+//
+// Percentile definition: nearest-rank over the sorted reservoir — the smallest sample
+// s[k] with k = ceil(p/100 * m) over m retained samples. No interpolation: a reported
+// p99 is always a latency that actually occurred.
+
+#ifndef SRC_METRICS_LATENCY_RESERVOIR_H_
+#define SRC_METRICS_LATENCY_RESERVOIR_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/prng.h"
+
+namespace cgraph {
+
+class LatencyReservoir {
+ public:
+  // `capacity` samples are retained (must be > 0); `seed` fixes the replacement draws.
+  explicit LatencyReservoir(size_t capacity, uint64_t seed = 42)
+      : capacity_(capacity), rng_(seed) {
+    CGRAPH_CHECK(capacity > 0);
+    samples_.reserve(capacity);
+  }
+
+  void Add(double value) {
+    ++count_;
+    sum_ += value;
+    max_ = count_ == 1 ? value : std::max(max_, value);
+    if (samples_.size() < capacity_) {
+      samples_.push_back(value);
+      return;
+    }
+    // Algorithm R: the new value lands in a uniformly-chosen virtual slot of [0, n);
+    // slots below capacity are real, the rest discard it. Every observation ends up
+    // retained with probability capacity/n.
+    const uint64_t slot = rng_.NextBounded(count_);
+    if (slot < capacity_) {
+      samples_[static_cast<size_t>(slot)] = value;
+    }
+  }
+
+  // Total observations (not just retained samples).
+  uint64_t count() const { return count_; }
+  // Exact running mean / max over ALL observations, independent of sampling.
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+  // Whether Percentile() is exact (the stream never exceeded the reservoir).
+  bool exact() const { return count_ <= capacity_; }
+
+  // Nearest-rank percentile over the retained samples; p in (0, 100]. 0 observations
+  // reports 0.
+  double Percentile(double p) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    CGRAPH_CHECK(p > 0.0 && p <= 100.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::min(sorted.size(), std::max<size_t>(rank, 1)) - 1];
+  }
+
+ private:
+  size_t capacity_;
+  Xoshiro256 rng_;
+  std::vector<double> samples_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_METRICS_LATENCY_RESERVOIR_H_

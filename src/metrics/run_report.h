@@ -39,6 +39,18 @@ struct JobStats {
   bool admit_scored = false;
   bool admit_predicted = false;
   uint32_t admit_pool = 0;
+  // Service-daemon diagnostics (not part of the CSV schema; see docs/service.md).
+  // finish_step is the scheduling step at which the job completed (or was shed) —
+  // completion_latency = finish_step - (arrival_step + wait is already folded in via the
+  // caller's arrival). coalesced_callers counts *additional* requests multiplexed onto
+  // this job by query fan-in (0 = sole caller). deadline_step is the absolute step after
+  // which a still-waiting job may be shed (0 = no deadline). shed marks a job cancelled
+  // while waiting: it never held a slot, never computed, and its zeros must not be
+  // aggregated as real work.
+  uint64_t finish_step = 0;
+  uint32_t coalesced_callers = 0;
+  uint64_t deadline_step = 0;
+  bool shed = false;
 
   double ModeledComputeTime(const CostModel& model, uint32_t workers) const {
     return model.ComputeCost(compute_units) / std::max<uint32_t>(1, workers);

@@ -1,5 +1,6 @@
 #include "src/runtime/thread_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -10,6 +11,19 @@ ThreadPool::ThreadPool(size_t num_workers) {
   if (num_workers == 0) {
     num_workers = 1;
   }
+  // Oversubscription cap: a pool asked for more threads than the machine has cores
+  // spawns only core-count threads. The extra threads could never run concurrently, but
+  // each one would still be woken (and then fight for the batch cursor and the mutex) on
+  // every RunBatch — on a single-core host that alone made workers=4 slower than
+  // workers=1 on the throughput bench. hardware_concurrency() may report 0 (unknown);
+  // keep the request untouched then.
+  const size_t hw = std::thread::hardware_concurrency();
+  if (hw > 0 && num_workers > hw) {
+    num_workers = hw;
+  }
+  // The RunBatch caller drains indices alongside the workers, so lanes = workers + 1,
+  // still bounded by the core count.
+  parallel_lanes_ = hw > 0 ? std::min(num_workers + 1, hw) : num_workers + 1;
   threads_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -74,8 +88,13 @@ void ThreadPool::RunBatch(size_t n_tasks, BatchFn fn) {
   if (n_tasks == 0) {
     return;
   }
-  if (n_tasks == 1) {
-    fn(0);  // Nothing to share: run inline without touching the mutex.
+  if (n_tasks == 1 || !CanRunConcurrently()) {
+    // Nothing to share — one task, or one core: run inline without touching the mutex.
+    // On single-core hardware a dispatched batch degenerates to the same serial order
+    // plus wake-up/contention overhead, so the inline loop is strictly better.
+    for (size_t i = 0; i < n_tasks; ++i) {
+      fn(i);
+    }
     return;
   }
   {

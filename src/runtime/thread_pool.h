@@ -31,7 +31,11 @@ class ThreadPool {
   // Invoked once per claimed task index in [0, n_tasks).
   using BatchFn = FunctionRef<void(size_t)>;
 
-  // Spawns `num_workers` threads. num_workers == 0 is clamped to 1.
+  // Spawns `num_workers` threads, capped at the hardware concurrency when the platform
+  // reports one: threads beyond the core count cannot run concurrently — they only add
+  // wake-ups, context switches, and cursor contention to every batch. num_workers == 0
+  // is clamped to 1. The cap changes wall clock only; modeled metrics never depend on
+  // how many threads actually execute a batch.
   explicit ThreadPool(size_t num_workers);
 
   // Drains outstanding tasks, then joins all workers.
@@ -41,6 +45,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   size_t num_workers() const { return threads_.size(); }
+
+  // True when a batch dispatched to the pool can actually run on more than one core.
+  // When false (single-core hardware), RunBatch executes the whole index range inline on
+  // the calling thread: waking parked workers that would only time-slice the same core
+  // is pure overhead. Coverage and results are identical either way.
+  bool CanRunConcurrently() const { return parallel_lanes_ > 1; }
 
   // Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
@@ -86,6 +96,10 @@ class ThreadPool {
   size_t batch_size_ = 0;
   std::atomic<size_t> batch_cursor_{0};
   std::atomic<size_t> batch_completed_{0};
+
+  // Distinct cores a batch can occupy: the spawned workers plus the RunBatch caller,
+  // bounded by the hardware concurrency (computed once at construction).
+  size_t parallel_lanes_ = 1;
 
   std::vector<std::thread> threads_;
 };

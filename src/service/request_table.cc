@@ -1,0 +1,33 @@
+#include "src/service/request_table.h"
+
+#include "src/common/check.h"
+
+namespace cgraph {
+
+std::string CoalesceKey(const std::string& program, VertexId source) {
+  // Programs whose answer does not depend on a root vertex: the source field is caller
+  // noise, not computation identity. Keep this list in sync with MakeProgram
+  // (src/algorithms/factory.h) — a source-rooted program listed here would wrongly merge
+  // distinct queries; a source-free program missing here only costs dedup opportunity.
+  const bool source_free = program == "pagerank" || program == "wcc" ||
+                           program == "scc" || program == "kcore";
+  if (source_free) {
+    return program;
+  }
+  return program + '#' + std::to_string(source);
+}
+
+void RequestTable::Register(const std::string& key, JobId id) {
+  auto [it, inserted] = in_flight_.emplace(key, id);
+  CGRAPH_CHECK(inserted);
+  (void)it;
+}
+
+void RequestTable::Retire(const std::string& key, JobId id) {
+  auto it = in_flight_.find(key);
+  if (it != in_flight_.end() && it->second == id) {
+    in_flight_.erase(it);
+  }
+}
+
+}  // namespace cgraph

@@ -1,0 +1,60 @@
+// Query fan-in: coalescing identical in-flight requests onto one shared job.
+//
+// Real graph-service workloads repeat themselves — the same PageRank over the same graph,
+// the same shortest-path query from a popular source — and requests that arrive while an
+// identical traversal is already queued or running can share its execution instead of
+// competing with it for a slot. The RequestTable is that dedup index: it maps a request's
+// *coalesce key* to the in-flight JobId computing the same answer. The daemon consults it
+// at admission — a hit attaches the caller to the existing job (one execution, N
+// completions, results multiplexed at readback), a miss submits a fresh job and registers
+// it (src/service/daemon.h, docs/service.md#fan-in).
+//
+// The coalesce key is (program, normalized source). Source-free programs — pagerank, wcc,
+// scc, kcore — normalize the source away entirely: "pagerank from vertex 3" and "pagerank
+// from vertex 9" are the same computation, so they must coalesce. Source-rooted programs
+// (sssp, bfs, ppr, khop) keep it: different roots are different answers.
+//
+// Correctness rests on one invariant: a key maps to a job only while that job can still
+// deliver the shared answer — i.e. until it finishes or is shed. The daemon retires
+// entries at exactly those two transitions; an attached caller therefore always observes
+// the job's converged values (or its shed notice), never a stale slot reused by an
+// unrelated job.
+
+#ifndef SRC_SERVICE_REQUEST_TABLE_H_
+#define SRC_SERVICE_REQUEST_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace cgraph {
+
+// The dedup key for a (program, source) request; see file comment for normalization.
+std::string CoalesceKey(const std::string& program, VertexId source);
+
+class RequestTable {
+ public:
+  // The in-flight job computing `key`, or kInvalidJob on miss.
+  JobId Find(const std::string& key) const {
+    auto it = in_flight_.find(key);
+    return it == in_flight_.end() ? kInvalidJob : it->second;
+  }
+
+  // Registers `id` as the in-flight job for `key`. Pre: no live entry for `key` — the
+  // daemon only submits a fresh job after a Find miss (or after the prior entry retired).
+  void Register(const std::string& key, JobId id);
+
+  // Drops the entry for `key` if it still points at `id` (no-op otherwise — the entry
+  // may already belong to a successor job submitted after `id` retired).
+  void Retire(const std::string& key, JobId id);
+
+  size_t size() const { return in_flight_.size(); }
+
+ private:
+  std::unordered_map<std::string, JobId> in_flight_;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_SERVICE_REQUEST_TABLE_H_

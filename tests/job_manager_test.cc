@@ -182,6 +182,53 @@ TEST(JobManagerTest, WaitDrivesOneJobToCompletion) {
   EXPECT_GT(pr.stats().iterations, 0u);
 }
 
+TEST(JobManagerTest, WaitOnCompletedJobReturnsImmediately) {
+  const EdgeList edges = GenerateErdosRenyi(150, 1200, 31);
+  const PartitionedGraph pg = Partition(edges, 4);
+
+  LtpEngine engine(&pg, test_support::TestEngineOptions());
+  const LtpEngine::JobHandle wcc = engine.Submit(std::make_unique<WccProgram>());
+  engine.RunUntilIdle();
+  ASSERT_TRUE(wcc.done());
+  // Wait on an already-finished job must return without driving the engine — a Wait
+  // that stepped here would CHECK-fail (the engine is idle, Step() returns false).
+  const uint64_t step_before = engine.current_step();
+  engine.Wait(wcc.id());
+  EXPECT_EQ(engine.current_step(), step_before);
+}
+
+TEST(JobManagerTest, WaitOnCompletedJobSurvivesSlotRecycling) {
+  const EdgeList edges = GenerateErdosRenyi(150, 1200, 37);
+  const PartitionedGraph pg = Partition(edges, 4);
+
+  EngineOptions options = test_support::TestEngineOptions();
+  options.max_jobs = 1;  // Every job recycles the single slot.
+  LtpEngine engine(&pg, options);
+  const LtpEngine::JobHandle first = engine.Submit(std::make_unique<WccProgram>());
+  const LtpEngine::JobHandle second =
+      engine.Submit(std::make_unique<PageRankProgram>(0.85, 1e-8));
+  const LtpEngine::JobHandle third = engine.Submit(std::make_unique<WccProgram>());
+
+  engine.Wait(first.id());
+  ASSERT_TRUE(first.done());
+  // The slot first held now belongs to second (still running). Waiting on first's id
+  // again must key off the *job*, not the recycled slot: it returns immediately instead
+  // of driving until the slot's current occupant finishes.
+  const uint64_t step_before = engine.current_step();
+  engine.Wait(first.id());
+  EXPECT_EQ(engine.current_step(), step_before);
+  EXPECT_FALSE(second.done());
+
+  engine.RunUntilIdle();
+  EXPECT_TRUE(second.done());
+  EXPECT_TRUE(third.done());
+  // Re-waiting on any completed id after further recycling is still a no-op.
+  const uint64_t final_step = engine.current_step();
+  engine.Wait(second.id());
+  engine.Wait(first.id());
+  EXPECT_EQ(engine.current_step(), final_step);
+}
+
 TEST(JobManagerTest, ScheduledArrivalBeyondConvergenceStillRuns) {
   const EdgeList edges = GenerateRing(64);
   const Graph g = Graph::FromEdges(edges);

@@ -9,6 +9,11 @@
 //              [--sweep-threshold=N] [--arrivals=NAME@STEP[,NAME@STEP...]]
 //              [--admission=fifo|overlap|predict] [--aging=X] [--max-jobs=N]
 //              [--history-decay=X] [--history-buckets=N] [--slot-pools=N]
+//              [--trigger-threshold=N]
+//              [--serve] [--trace-jobs=N] [--trace-pattern=uniform|bursty|diurnal]
+//              [--trace-seed=N] [--trace-gap=N] [--trace-burst=N] [--trace-sources=N]
+//              [--trace-file=PATH] [--trace-out=PATH] [--queue-bound=N]
+//              [--deadline-steps=N] [--no-coalesce]
 //
 // Job names: pagerank, sssp, scc, bfs, wcc, kcore, ppr, khop.
 // Default: --rmat=12,8 --jobs=pagerank,sssp,scc,bfs --system=cgraph.
@@ -16,9 +21,14 @@
 // (cgraph systems only — the baselines have no runtime-admission path).
 // --admission selects the job-level admission policy consulted whenever a concurrency
 // slot (bounded by --max-jobs) frees up; see docs/scheduling.md.
+// --serve switches to graph-service daemon mode (cgraph systems only): generates or
+// replays an arrival trace of --trace-jobs requests over the --jobs program mix and
+// drives it through the ServiceDriver with query fan-in, a bounded queue, and optional
+// queue-wait deadlines; see docs/service.md.
 //
 // Prints a per-job report table (cgraph systems add a parseable "admission:" summary
-// line); --csv additionally writes machine-readable rows.
+// line; --serve adds a parseable "service:" line); --csv additionally writes
+// machine-readable rows.
 
 #include <algorithm>
 #include <cstdio>
@@ -36,6 +46,8 @@
 #include "src/metrics/csv_writer.h"
 #include "src/metrics/table_printer.h"
 #include "src/partition/partitioned_graph.h"
+#include "src/service/daemon.h"
+#include "src/service/trace_gen.h"
 
 namespace {
 
@@ -68,8 +80,23 @@ struct CliOptions {
   double history_decay = -1.0;    // < 0 = engine default.
   uint32_t history_buckets = 0;   // 0 = engine default.
   uint32_t slot_pools = 0;        // 0 = engine default.
+  int64_t trigger_threshold = -1; // < 0 = engine default.
   std::string csv_path;
   bool help = false;
+  // Service-daemon mode (--serve): replay an arrival trace through the ServiceDriver
+  // instead of a one-shot batch; see docs/service.md.
+  bool serve = false;
+  uint64_t trace_jobs = 1000;
+  ArrivalPattern trace_pattern = ArrivalPattern::kUniform;
+  uint64_t trace_seed = 42;
+  uint64_t trace_gap = 4;
+  uint64_t trace_burst = 16;
+  uint64_t trace_sources = 8;
+  std::string trace_file;  // Replay this trace file instead of generating.
+  std::string trace_out;   // Save the generated trace here.
+  uint64_t queue_bound = 64;     // 0 = unbounded.
+  uint64_t deadline_steps = 0;   // 0 = no deadlines.
+  bool coalesce = true;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -196,6 +223,62 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         }
         options->arrivals.push_back(ArrivalSpec{std::string(piece.substr(0, at)), step});
       }
+    } else if (match("--trigger-threshold=")) {
+      uint64_t threshold = 0;
+      if (!ParseUint64(value, &threshold) || threshold > 0xFFFFFFFFull) {
+        std::fprintf(stderr, "error: --trigger-threshold expects a vertex count\n");
+        return false;
+      }
+      options->trigger_threshold = static_cast<int64_t>(threshold);
+    } else if (arg == "--serve") {
+      options->serve = true;
+    } else if (match("--trace-jobs=")) {
+      if (!ParseUint64(value, &options->trace_jobs) || options->trace_jobs == 0) {
+        std::fprintf(stderr, "error: --trace-jobs expects a positive count\n");
+        return false;
+      }
+    } else if (match("--trace-pattern=")) {
+      if (!ParseArrivalPattern(value, &options->trace_pattern)) {
+        std::fprintf(stderr,
+                     "error: --trace-pattern expects uniform, bursty, or diurnal\n");
+        return false;
+      }
+    } else if (match("--trace-seed=")) {
+      if (!ParseUint64(value, &options->trace_seed)) {
+        std::fprintf(stderr, "error: --trace-seed expects an integer\n");
+        return false;
+      }
+    } else if (match("--trace-gap=")) {
+      if (!ParseUint64(value, &options->trace_gap)) {
+        std::fprintf(stderr, "error: --trace-gap expects a step count\n");
+        return false;
+      }
+    } else if (match("--trace-burst=")) {
+      if (!ParseUint64(value, &options->trace_burst) || options->trace_burst == 0) {
+        std::fprintf(stderr, "error: --trace-burst expects a positive count\n");
+        return false;
+      }
+    } else if (match("--trace-sources=")) {
+      if (!ParseUint64(value, &options->trace_sources) || options->trace_sources == 0) {
+        std::fprintf(stderr, "error: --trace-sources expects a positive count\n");
+        return false;
+      }
+    } else if (match("--trace-file=")) {
+      options->trace_file = value;
+    } else if (match("--trace-out=")) {
+      options->trace_out = value;
+    } else if (match("--queue-bound=")) {
+      if (!ParseUint64(value, &options->queue_bound)) {
+        std::fprintf(stderr, "error: --queue-bound expects a count (0 = unbounded)\n");
+        return false;
+      }
+    } else if (match("--deadline-steps=")) {
+      if (!ParseUint64(value, &options->deadline_steps)) {
+        std::fprintf(stderr, "error: --deadline-steps expects a step count (0 = off)\n");
+        return false;
+      }
+    } else if (arg == "--no-coalesce") {
+      options->coalesce = false;
     } else if (match("--csv=")) {
       options->csv_path = value;
     } else {
@@ -256,7 +339,27 @@ void PrintUsage() {
       "  --slot-pools=N        admission-time placement: partition the slots into N\n"
       "                        pools and admit each job into the pool its predicted\n"
       "                        footprint overlaps most (default 1 = legacy placement)\n"
-      "  --csv=PATH            also write the report as CSV\n");
+      "  --trigger-threshold=N min active vertices in a trigger batch before it\n"
+      "                        dispatches through the thread pool (default 4096;\n"
+      "                        0 always dispatches)\n"
+      "  --csv=PATH            also write the report as CSV\n"
+      "\nservice daemon (docs/service.md):\n"
+      "  --serve               replay an arrival trace as a long-running service\n"
+      "                        (cgraph systems only; --jobs becomes the program mix)\n"
+      "  --trace-jobs=N        requests in the generated trace (default 1000)\n"
+      "  --trace-pattern=NAME  uniform (default), bursty, diurnal\n"
+      "  --trace-seed=N        trace PRNG seed (default 42)\n"
+      "  --trace-gap=N         mean inter-arrival gap in scheduling steps (default 4)\n"
+      "  --trace-burst=N       requests per clump under bursty (default 16)\n"
+      "  --trace-sources=N     traversal-source pool size; smaller pools repeat\n"
+      "                        sources more, so more requests coalesce (default 8)\n"
+      "  --trace-file=PATH     replay this trace file instead of generating\n"
+      "  --trace-out=PATH      save the generated trace for exact replay\n"
+      "  --queue-bound=N       waiting-queue bound before arrivals shed at the door\n"
+      "                        (default 64; 0 = unbounded)\n"
+      "  --deadline-steps=N    shed jobs still waiting N steps past arrival\n"
+      "                        (default 0 = no deadlines)\n"
+      "  --no-coalesce         disable query fan-in (every request runs its own job)\n");
 }
 
 }  // namespace
@@ -290,6 +393,14 @@ int main(int argc, char** argv) {
   }
   if (options.admission != AdmissionPolicyKind::kFifo && !is_cgraph_system) {
     std::fprintf(stderr, "error: --admission requires --system=cgraph|cgraph-without\n");
+    return 2;
+  }
+  if (options.serve && !is_cgraph_system) {
+    std::fprintf(stderr, "error: --serve requires --system=cgraph|cgraph-without\n");
+    return 2;
+  }
+  if (options.serve && !options.arrivals.empty()) {
+    std::fprintf(stderr, "error: --serve and --arrivals are mutually exclusive\n");
     return 2;
   }
 
@@ -343,7 +454,101 @@ int main(int argc, char** argv) {
   if (options.slot_pools > 0) {
     engine_options.slot_pools = options.slot_pools;
   }
+  if (options.trigger_threshold >= 0) {
+    engine_options.parallel_trigger_threshold =
+        static_cast<uint32_t>(options.trigger_threshold);
+  }
   const CostModel cost;
+
+  if (options.serve) {
+    engine_options.use_scheduler = options.system == "cgraph";
+
+    std::vector<ServiceRequest> trace;
+    if (!options.trace_file.empty()) {
+      if (!LoadTrace(options.trace_file, &trace)) {
+        std::fprintf(stderr, "error: cannot load trace from '%s'\n",
+                     options.trace_file.c_str());
+        return 1;
+      }
+    } else {
+      TraceGenOptions tgen;
+      tgen.num_requests = options.trace_jobs;
+      tgen.pattern = options.trace_pattern;
+      tgen.seed = options.trace_seed;
+      tgen.mean_gap = options.trace_gap;
+      tgen.burst_size = options.trace_burst;
+      tgen.programs = options.jobs;
+      tgen.sources = PickSourcePool(edges, options.trace_sources);
+      trace = GenerateArrivalTrace(tgen);
+    }
+    if (!options.trace_out.empty() && !SaveTrace(trace, options.trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   options.trace_out.c_str());
+      return 1;
+    }
+
+    LtpEngine engine(&graph, engine_options);
+    ServiceOptions sopts;
+    sopts.queue_bound = static_cast<size_t>(options.queue_bound);
+    sopts.deadline_steps = options.deadline_steps;
+    sopts.coalesce = options.coalesce;
+    ServiceDriver driver(&engine, sopts);
+    const ServiceReport sreport = driver.Run(trace);
+
+    std::printf("graph: %u vertices, %zu edges, %u partitions (replication %.2f)\n",
+                edges.num_vertices(), edges.num_edges(), graph.num_partitions(),
+                graph.replication_factor());
+    std::printf("system: %s daemon, %u workers, %s trace\n\n", options.system.c_str(),
+                options.workers,
+                options.trace_file.empty() ? ArrivalPatternName(options.trace_pattern)
+                                           : options.trace_file.c_str());
+    std::printf("requests     %llu (%llu completed, %llu shed, %llu coalesced)\n",
+                static_cast<unsigned long long>(sreport.total_requests),
+                static_cast<unsigned long long>(sreport.completed_requests),
+                static_cast<unsigned long long>(sreport.shed_requests),
+                static_cast<unsigned long long>(sreport.coalesced_requests));
+    std::printf("jobs         %llu submitted, %llu executed, %llu shed while queued\n",
+                static_cast<unsigned long long>(sreport.submitted_jobs),
+                static_cast<unsigned long long>(sreport.executed_jobs),
+                static_cast<unsigned long long>(sreport.shed_jobs));
+    std::printf("latency      p50 %.0f, p95 %.0f, p99 %.0f, mean %.1f, max %.0f steps\n",
+                sreport.p50_latency_steps, sreport.p95_latency_steps,
+                sreport.p99_latency_steps, sreport.mean_latency_steps,
+                sreport.max_latency_steps);
+    std::printf("throughput   %.2f completed requests/s over %.2fs wall (%llu steps)\n\n",
+                sreport.sustained_jobs_per_second, sreport.wall_seconds,
+                static_cast<unsigned long long>(sreport.final_step));
+    // Parseable summary (consumed by tools/run_bench.sh). Latency percentiles are
+    // scheduling-step figures, identical across runs and worker counts; wall_seconds and
+    // sustained_jobs_per_second are the hardware-dependent outputs.
+    std::printf(
+        "service: pattern=%s requests=%llu completed=%llu shed=%llu coalesced=%llu "
+        "submitted_jobs=%llu executed_jobs=%llu shed_jobs=%llu dedup_ratio=%.4f "
+        "p50=%.1f p95=%.1f p99=%.1f mean=%.2f max=%.1f final_step=%llu "
+        "wall_seconds=%.4f sustained_jobs_per_second=%.4f\n",
+        options.trace_file.empty() ? ArrivalPatternName(options.trace_pattern) : "file",
+        static_cast<unsigned long long>(sreport.total_requests),
+        static_cast<unsigned long long>(sreport.completed_requests),
+        static_cast<unsigned long long>(sreport.shed_requests),
+        static_cast<unsigned long long>(sreport.coalesced_requests),
+        static_cast<unsigned long long>(sreport.submitted_jobs),
+        static_cast<unsigned long long>(sreport.executed_jobs),
+        static_cast<unsigned long long>(sreport.shed_jobs), sreport.dedup_ratio,
+        sreport.p50_latency_steps, sreport.p95_latency_steps, sreport.p99_latency_steps,
+        sreport.mean_latency_steps, sreport.max_latency_steps,
+        static_cast<unsigned long long>(sreport.final_step), sreport.wall_seconds,
+        sreport.sustained_jobs_per_second);
+
+    if (!options.csv_path.empty()) {
+      const Status status = WriteRunReportCsv(engine.Report(), cost, options.csv_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("csv written to %s\n", options.csv_path.c_str());
+    }
+    return 0;
+  }
 
   RunReport report;
   if (is_cgraph_system) {
