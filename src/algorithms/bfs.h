@@ -16,6 +16,9 @@ class BfsProgram : public VertexProgram {
   std::string_view name() const override { return "bfs"; }
   AccKind acc_kind() const override { return AccKind::kMin; }
 
+  // Min-hop fixpoint — same monotone structure as SSSP over unit weights.
+  bool monotonic() const override { return true; }
+
   VertexState InitialState(const LocalVertexInfo& info) const override {
     VertexState s;
     s.value = std::numeric_limits<double>::infinity();

@@ -16,6 +16,12 @@ class KCoreProgram : public VertexProgram {
   std::string_view name() const override { return "kcore"; }
   AccKind acc_kind() const override { return AccKind::kSum; }
 
+  // Peeling is confluent in *membership* (aux): a vertex scatters exactly once, on its
+  // irreversible leave-the-core transition, so any schedule that delivers every -1.0
+  // reaches the same core set. The peel-time residual in `value` IS order-dependent
+  // (late -1.0s may arrive after a vertex peeled), so k-core equivalence is on aux.
+  bool monotonic() const override { return true; }
+
   VertexState InitialState(const LocalVertexInfo& info) const override {
     VertexState s;
     s.value = static_cast<double>(info.global_total_degree);

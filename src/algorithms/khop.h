@@ -19,6 +19,10 @@ class KHopProgram : public VertexProgram {
   std::string_view name() const override { return "khop"; }
   AccKind acc_kind() const override { return AccKind::kMin; }
 
+  // Bounded BFS: still a min-hop fixpoint (the hop budget only prunes scatters whose
+  // contributions could never win a min), so async execution is exact.
+  bool monotonic() const override { return true; }
+
   VertexState InitialState(const LocalVertexInfo& info) const override {
     VertexState s;
     s.value = std::numeric_limits<double>::infinity();

@@ -24,6 +24,9 @@ class PageRankProgram : public VertexProgram {
 
   std::string_view name() const override { return "pagerank"; }
   AccKind acc_kind() const override { return AccKind::kSum; }
+  // Not monotonic(): the epsilon convergence test depends on *when* mass arrives —
+  // batching deltas changes which sub-epsilon residuals get dropped, so async would
+  // converge to (slightly) different values than the BSP oracle.
 
   VertexState InitialState(const LocalVertexInfo& info) const override {
     (void)info;

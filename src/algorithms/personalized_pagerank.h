@@ -18,6 +18,7 @@ class PersonalizedPageRankProgram : public VertexProgram {
 
   std::string_view name() const override { return "ppr"; }
   AccKind acc_kind() const override { return AccKind::kSum; }
+  // Not monotonic(): same epsilon-threshold timing dependence as PageRank.
 
   VertexState InitialState(const LocalVertexInfo& info) const override {
     VertexState s;

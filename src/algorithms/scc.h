@@ -30,6 +30,8 @@ class SccProgram : public VertexProgram {
  public:
   std::string_view name() const override { return "scc"; }
   AccKind acc_kind() const override { return AccKind::kMax; }
+  // Not monotonic(): multi-phase (OnIterationEnd drives kNewPhase re-initializations),
+  // which the async push stage's deferred-contribution window cannot replay across.
 
   VertexState InitialState(const LocalVertexInfo& info) const override {
     VertexState s;

@@ -20,6 +20,10 @@ class SsspProgram : public VertexProgram {
   std::string_view name() const override { return "sssp"; }
   AccKind acc_kind() const override { return AccKind::kMin; }
 
+  // Min-based distance fixpoint: delivery order/batching never changes the converged
+  // distances, so async execution is exact.
+  bool monotonic() const override { return true; }
+
   VertexState InitialState(const LocalVertexInfo& info) const override {
     VertexState s;
     s.value = std::numeric_limits<double>::infinity();

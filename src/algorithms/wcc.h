@@ -15,6 +15,14 @@ class WccProgram : public VertexProgram {
   std::string_view name() const override { return "wcc"; }
   AccKind acc_kind() const override { return AccKind::kMin; }
 
+  // Min-label propagation converges to the component-minimum label under any delivery
+  // schedule, so async execution is exact.
+  bool monotonic() const override { return true; }
+
+  // The scattered value is the label itself — unchanged along any path — so eager
+  // intra-partition re-draining only ever floods final candidate labels.
+  bool path_independent() const override { return true; }
+
   VertexState InitialState(const LocalVertexInfo& info) const override {
     VertexState s;
     s.value = std::numeric_limits<double>::infinity();

@@ -4,6 +4,7 @@
 #define SRC_CORE_ENGINE_OPTIONS_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "src/cache/memory_hierarchy.h"
 #include "src/metrics/cost_model.h"
@@ -19,6 +20,47 @@ enum class AdmissionPolicyKind : uint8_t {
              // (src/core/footprint_history.h); falls back to kOverlap scoring for
              // program types with no completed history yet.
 };
+
+// Iteration model (docs/execution_modes.md). kBsp is the deterministic bulk-synchronous
+// default: every iteration triggers to a barrier, then the Push stage synchronizes
+// replicas, so a vertex never sees same-iteration updates. kAsync relaxes both halves of
+// that barrier for *monotonic* programs (VertexProgram::monotonic()):
+//
+//   * intra-iteration visibility — the trigger stage re-drains interior vertices (masters
+//     with no replicas anywhere) of a partition within the iteration, so improvement
+//     cascades that stay inside the partition settle in one pass instead of one level per
+//     iteration;
+//   * bounded-staleness propagation — the push stage may withhold master->mirror
+//     broadcasts for up to `staleness` iterations, accumulating the deferred updates and
+//     delivering their Acc-combination at the next sync boundary, so replica traffic is
+//     batched instead of per-wave.
+//
+// Non-monotonic jobs silently run BSP under kAsync (stats().async_execution stays false);
+// final converged values are identical to BSP either way — BSP stays the correctness
+// oracle.
+enum class ExecutionMode : uint8_t {
+  kBsp,
+  kAsync,
+};
+
+inline const char* ExecutionModeName(ExecutionMode mode) {
+  return mode == ExecutionMode::kAsync ? "async" : "bsp";
+}
+
+// Parses a CLI spelling of ExecutionMode. Returns false (leaving *out untouched) on an
+// unknown name so callers can emit a usage error listing the valid values.
+inline bool ParseExecutionModeName(const char* name, ExecutionMode* out) {
+  const std::string_view s(name);
+  if (s == "bsp") {
+    *out = ExecutionMode::kBsp;
+    return true;
+  }
+  if (s == "async") {
+    *out = ExecutionMode::kAsync;
+    return true;
+  }
+  return false;
+}
 
 struct EngineOptions {
   // Worker threads ("cores"); one trigger task per worker (paper section 3.2.3).
@@ -98,6 +140,38 @@ struct EngineOptions {
   // on. Placement affects only slot indices — and hence per-partition trigger order of
   // co-registered jobs — never which job is admitted.
   uint32_t slot_pools = 1;
+
+  // Iteration model (CLI: --execution). kAsync only changes behavior for jobs whose
+  // program declares monotonic() — everything else (and kBsp itself) is byte-identical
+  // to the pre-async engine. See the ExecutionMode comment above and
+  // docs/execution_modes.md.
+  ExecutionMode execution_mode = ExecutionMode::kBsp;
+
+  // Bounded-staleness window for kAsync (CLI: --staleness): master->mirror broadcasts
+  // may be withheld for at most this many iterations before a forced sync. 0 makes
+  // every push a sync boundary — i.e. async degenerates to BSP and is treated as BSP
+  // (re-drain included). Ignored under kBsp.
+  uint32_t staleness = 1;
+
+  // Adaptive deferral (kAsync): the staleness window is an upper bound, not a mandate.
+  // A push boundary defers its broadcast only while the iteration is "hot" — the number
+  // of fresh master broadcast records is at least (total replicated masters) /
+  // async_defer_divisor. Cold boundaries sync immediately: deferral batches high-churn
+  // phases without stretching the critical path, which away from those phases is a
+  // latency-bound cross-partition chain that a withheld broadcast delays by a whole
+  // iteration. The default 1 defers only boundaries where essentially the entire
+  // replicated population is churning (an all-active flood, e.g. WCC's first waves) —
+  // the strictest setting, and the one that wins modeled time as well as compute units;
+  // larger divisors widen deferral (more batching, more iteration stretch), 0 always
+  // defers up to the staleness bound (fixed-window ablation).
+  uint32_t async_defer_divisor = 1;
+
+  // Re-drain gate (kAsync, ablation): when non-zero, a partition is re-drained within
+  // the iteration only while its pre-sweep active count is at most this many vertices.
+  // Eligibility itself is the program's path_independent() trait — this knob only
+  // restricts *when* an eligible program drains, for ablating the eager flood against
+  // a tail-only one. 0 (default) always drains eligible programs.
+  uint32_t async_drain_limit = 0;
 
   // Safety valve against non-converging programs.
   uint64_t max_iterations_per_job = 10000;

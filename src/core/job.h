@@ -107,6 +107,19 @@ class Job {
   uint64_t iteration_ = 0;
   bool finished_ = false;
   JobStats stats_;
+  // Async (bounded-staleness) execution state; see docs/execution_modes.md. async_ is
+  // the job's *effective* mode, fixed at init: options say async AND staleness > 0 AND
+  // the program declares monotonic(). All three fields are untouched under BSP.
+  bool async_ = false;
+  // Iterations since the last master->mirror broadcast; a push is a sync boundary when
+  // since_sync_ >= staleness, otherwise the broadcast is deferred.
+  uint64_t since_sync_ = 0;
+  // Per-partition deferred-broadcast accumulators, parallel to that partition's
+  // replicated_masters(): the Acc-combination of the master deltas withheld since the
+  // last sync, folded in just before each deferred swap and delivered (then reset to
+  // the Acc identity) at the next sync boundary.
+  std::vector<std::vector<double>> deferred_;
+  std::vector<uint8_t> deferred_pending_;  // Partition has non-identity deferred deltas.
   // See footprint(); sized num_partitions when computed.
   std::vector<uint32_t> footprint_;
   // See activity_trace(); empty unless the manager tracks footprint history.

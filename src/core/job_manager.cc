@@ -331,6 +331,22 @@ void JobManager::InitJob(Job& job, uint32_t slot) {
 
   const VertexProgram& program = job.program();
   const double identity = AccIdentity(program.acc_kind());
+
+  // Effective execution mode, fixed for the job's lifetime: async only when the options
+  // ask for it, the staleness window is non-degenerate, and the program declared the
+  // monotonicity contract. Everything else runs the exact BSP path.
+  job.async_ = options_.execution_mode == ExecutionMode::kAsync && options_.staleness > 0 &&
+               program.monotonic();
+  job.stats_.async_execution = job.async_;
+  job.since_sync_ = 0;
+  if (job.async_) {
+    job.deferred_.resize(g.num_partitions());
+    job.deferred_pending_.assign(g.num_partitions(), 0);
+    for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+      job.deferred_[p].assign(g.partition(p).replicated_masters().size(), identity);
+    }
+  }
+
   for (PartitionId p = 0; p < g.num_partitions(); ++p) {
     const GraphPartition& part = g.partition(p);
     auto states = job.table_.partition(p);

@@ -1,6 +1,8 @@
 #include "src/core/push_stage.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "src/common/check.h"
@@ -13,6 +15,9 @@ PushStage::PushStage(const PartitionedGraph& layout, MemoryHierarchy* hierarchy,
     : layout_(layout), hierarchy_(hierarchy), manager_(manager), options_(options) {
   CGRAPH_CHECK(hierarchy != nullptr);
   CGRAPH_CHECK(manager != nullptr);
+  for (PartitionId p = 0; p < layout.num_partitions(); ++p) {
+    total_replicated_ += layout.partition(p).replicated_masters().size();
+  }
 }
 
 void PushStage::CollectMirrorRecords(Job& job, PartitionId p) {
@@ -66,21 +71,90 @@ void PushStage::Push(Job& job) {
   // and value updates). Only replicated masters can have mirrors to feed, so the source
   // sweep walks the mirror index instead of every local vertex. Destinations are unique
   // (a mirror has exactly one master), so per-bucket application order cannot matter.
+  //
+  // Async (docs/execution_modes.md): mirror->master flow above runs every iteration —
+  // masters are always fresh — but this master->mirror broadcast may lag by up to
+  // `staleness` iterations. At a deferred boundary each master's delta is Acc-folded
+  // into the job's per-partition deferred accumulator instead of travelling; at a sync
+  // boundary the accumulated window combines with the current delta and travels as one
+  // record per mirror. Exact for monotonic programs: min-windows are idempotent, and a
+  // sum-window delivers each contribution exactly once (mirror application replaces, and
+  // the mirror's own prior contribution was already merged upstream).
   uint64_t broadcast_records = 0;
-  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
-    if (!job.dirty_[p]) {
-      continue;
-    }
-    const GraphPartition& part = g.partition(p);
-    auto states = job.table_.partition(p);
-    for (const LocalVertexId v : part.replicated_masters()) {
-      if (states[v].delta_next == identity) {
+  bool sync_boundary = !job.async_ || job.since_sync_ >= options_.staleness;
+  if (!sync_boundary && options_.async_defer_divisor > 0) {
+    // Adaptive deferral: the staleness window is an upper bound, not a mandate. Count
+    // the fresh master records this boundary would withhold; a cold boundary (the
+    // convergence tail, where the critical path is a latency-bound cross-partition
+    // chain) syncs immediately instead of stretching it by a whole iteration. Only hot
+    // boundaries — where batching several waves into one Acc-combined record pays —
+    // actually defer.
+    uint64_t fresh = 0;
+    for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+      if (!job.dirty_[p]) {
         continue;
       }
-      for (const ReplicaRef& ref : part.mirrors_of(v)) {
-        job.broadcast_[ref.partition].push_back(BucketRecord{ref.local, states[v].delta_next});
+      const GraphPartition& part = g.partition(p);
+      auto states = job.table_.partition(p);
+      for (const LocalVertexId v : part.replicated_masters()) {
+        fresh += states[v].delta_next != identity ? 1 : 0;
       }
     }
+    sync_boundary = fresh * options_.async_defer_divisor < total_replicated_;
+  }
+  if (sync_boundary) {
+    for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+      const bool has_deferred = job.async_ && job.deferred_pending_[p] != 0;
+      if (!job.dirty_[p] && !has_deferred) {
+        continue;
+      }
+      const GraphPartition& part = g.partition(p);
+      auto states = job.table_.partition(p);
+      const std::span<const LocalVertexId> masters = part.replicated_masters();
+      for (size_t i = 0; i < masters.size(); ++i) {
+        const LocalVertexId v = masters[i];
+        double delta = states[v].delta_next;
+        if (has_deferred) {
+          delta = AccApply(kind, job.deferred_[p][i], delta);
+          job.deferred_[p][i] = identity;
+        }
+        if (delta == identity) {
+          continue;
+        }
+        for (const ReplicaRef& ref : part.mirrors_of(v)) {
+          job.broadcast_[ref.partition].push_back(BucketRecord{ref.local, delta});
+        }
+      }
+      if (has_deferred) {
+        job.deferred_pending_[p] = 0;
+      }
+    }
+    job.since_sync_ = 0;
+  } else {
+    // Deferred boundary: withhold the broadcast, Acc-folding each master's fresh delta
+    // into the window accumulator *before* the phase-3 swap clears it. The master still
+    // consumes its own delta via the swap — its copy and the mirrors' window entry are
+    // disjoint deliveries, so nothing is double-counted.
+    uint64_t deferred_now = 0;
+    for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+      if (!job.dirty_[p]) {
+        continue;
+      }
+      const GraphPartition& part = g.partition(p);
+      auto states = job.table_.partition(p);
+      const std::span<const LocalVertexId> masters = part.replicated_masters();
+      for (size_t i = 0; i < masters.size(); ++i) {
+        const LocalVertexId v = masters[i];
+        if (states[v].delta_next == identity) {
+          continue;
+        }
+        job.deferred_[p][i] = AccApply(kind, job.deferred_[p][i], states[v].delta_next);
+        job.deferred_pending_[p] = 1;
+        deferred_now += part.mirrors_of(v).size();
+      }
+    }
+    job.stats_.deferred_pushes += deferred_now;
+    ++job.since_sync_;
   }
   for (PartitionId p = 0; p < g.num_partitions(); ++p) {
     std::vector<BucketRecord>& bucket = job.broadcast_[p];
@@ -106,9 +180,56 @@ void PushStage::Push(Job& job) {
           hierarchy_->Access(private_key, job.table_.partition_bytes(p), /*pin=*/false);
     }
   }
-  const uint64_t active_total = manager_->RefreshActivity(job, /*all_partitions=*/false,
-                                                          /*swap_buffers=*/true,
-                                                          /*initial=*/false);
+  uint64_t active_total = manager_->RefreshActivity(job, /*all_partitions=*/false,
+                                                    /*swap_buffers=*/true,
+                                                    /*initial=*/false);
+
+  // Flush-on-drain: an async job whose frontier went quiet may still owe mirrors a
+  // deferred window — convergence is only real once every withheld record was delivered
+  // and the refreshed activity is still zero. One flush suffices: it empties every
+  // accumulator and nothing re-defers without Compute running.
+  if (job.async_ && active_total == 0 && job.since_sync_ > 0) {
+    uint64_t flushed_records = 0;
+    for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+      if (job.deferred_pending_[p] == 0) {
+        continue;
+      }
+      const GraphPartition& part = g.partition(p);
+      const std::span<const LocalVertexId> masters = part.replicated_masters();
+      for (size_t i = 0; i < masters.size(); ++i) {
+        if (job.deferred_[p][i] == identity) {
+          continue;
+        }
+        for (const ReplicaRef& ref : part.mirrors_of(masters[i])) {
+          job.broadcast_[ref.partition].push_back(BucketRecord{ref.local, job.deferred_[p][i]});
+        }
+        job.deferred_[p][i] = identity;
+      }
+      job.deferred_pending_[p] = 0;
+    }
+    for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+      std::vector<BucketRecord>& bucket = job.broadcast_[p];
+      if (bucket.empty()) {
+        continue;
+      }
+      auto states = job.table_.partition(p);
+      for (const BucketRecord& rec : bucket) {
+        states[rec.local].delta_next = rec.delta;  // Mirror slots are at the identity here.
+      }
+      job.dirty_[p] = true;
+      flushed_records += bucket.size();
+      bucket.clear();
+      const ItemKey private_key{DataKind::kPrivate, job.id(), p, 0};
+      job.stats_.charge +=
+          hierarchy_->Access(private_key, job.table_.partition_bytes(p), /*pin=*/false);
+    }
+    job.stats_.push_updates += flushed_records;
+    job.since_sync_ = 0;
+    if (flushed_records > 0) {
+      active_total = manager_->RefreshActivity(job, /*all_partitions=*/false,
+                                               /*swap_buffers=*/true, /*initial=*/false);
+    }
+  }
 
   ++job.iteration_;
   job.stats_.iterations = job.iteration_;
@@ -137,7 +258,9 @@ void PushStage::Push(Job& job) {
       break;
     }
     // kNewPhase: re-initialize every vertex state and re-derive activity. Charged as a
-    // full private-table sweep.
+    // full private-table sweep. The monotonic() contract forbids phases under async —
+    // a re-init would invalidate the deferred window without any way to replay it.
+    CGRAPH_CHECK(!job.async_);
     for (PartitionId p = 0; p < g.num_partitions(); ++p) {
       const GraphPartition& part = g.partition(p);
       auto states = job.table_.partition(p);

@@ -13,6 +13,12 @@
 // max-iteration safety valve, and multi-phase re-initialization (SCC). Jobs that complete
 // are finalized immediately via JobManager::FinishJob, which may admit a queued job into
 // the freed slot.
+//
+// Async (bounded-staleness) jobs relax only the broadcast half of the sync: mirror->master
+// merge runs every iteration, master->mirror delivery may lag by up to
+// EngineOptions::staleness iterations through per-partition deferred-window accumulators,
+// with a flush-on-drain pass guaranteeing every withheld record is delivered before the
+// job can be declared converged. See docs/execution_modes.md.
 
 #ifndef SRC_CORE_PUSH_STAGE_H_
 #define SRC_CORE_PUSH_STAGE_H_
@@ -44,6 +50,9 @@ class PushStage {
   MemoryHierarchy* hierarchy_;
   JobManager* manager_;
   EngineOptions options_;
+  // Replicated masters across all partitions — the scale against which the adaptive
+  // deferral policy (EngineOptions::async_defer_divisor) judges a boundary hot or cold.
+  uint64_t total_replicated_ = 0;
 };
 
 }  // namespace cgraph

@@ -42,6 +42,19 @@ void TriggerStage::Run(PartitionId p, const GraphPartition& part,
     }
     TriggerBatch(p, part, batch);
   }
+  // Async jobs settle their partition-local cascades before the barrier: the private
+  // table is still resident (just charged above), so the extra sweeps are pure compute.
+  // Only path-independent programs drain — their eager local flood delivers final
+  // candidate labels, while an edge-accumulating program would scatter values the next
+  // mirror merge is about to improve (see VertexProgram::path_independent()). The
+  // active-count gate is an ablation knob on top.
+  for (Job* job : batch_scratch_) {
+    if (job->async_ && job->program().path_independent() &&
+        (options_.async_drain_limit == 0 ||
+         job->active_count_[p] <= options_.async_drain_limit)) {
+      Redrain(p, part, job);
+    }
+  }
 }
 
 void TriggerStage::TriggerBatch(PartitionId p, const GraphPartition& part,
@@ -61,7 +74,7 @@ void TriggerStage::TriggerBatch(PartitionId p, const GraphPartition& part,
     }
     if (batch_active < options_.parallel_trigger_threshold) {
       for (Job* job : batch) {
-        ProcessWords(p, part, job, 0, n_words);
+        ProcessWords(p, part, job, job->active_[p], 0, n_words);
       }
       return;
     }
@@ -91,26 +104,28 @@ void TriggerStage::TriggerBatch(PartitionId p, const GraphPartition& part,
         if (begin >= n_words) {
           return;
         }
-        ProcessWords(p, part, job, begin, std::min(begin + grain_words, n_words));
+        ProcessWords(p, part, job, job->active_[p], begin,
+                     std::min(begin + grain_words, n_words));
       }
     });
   } else {
     // Ablation: one task per job — a skewed job becomes the straggler.
-    pool_->RunBatch(batch.size(),
-                    [&](size_t j) { ProcessWords(p, part, batch[j], 0, n_words); });
+    pool_->RunBatch(batch.size(), [&](size_t j) {
+      ProcessWords(p, part, batch[j], batch[j]->active_[p], 0, n_words);
+    });
   }
 }
 
-void TriggerStage::ProcessWords(PartitionId p, const GraphPartition& part, Job* job,
-                                size_t word_begin, size_t word_end) const {
+uint64_t TriggerStage::ProcessWords(PartitionId p, const GraphPartition& part, Job* job,
+                                    const DynamicBitset& mask, size_t word_begin,
+                                    size_t word_end) const {
   auto states = job->table().partition(p);
   ScatterOps ops(job->program().acc_kind(), states);
   uint64_t vertex_computes = 0;
-  const DynamicBitset& active = job->active_[p];
   if (options_.sparse_trigger) {
     // Word-level frontier scan: 64 inactive vertices cost one load + compare, and active
     // vertices are visited in the same ascending order as the dense loop.
-    active.ForEachSetBitInWords(word_begin, word_end, [&](size_t v) {
+    mask.ForEachSetBitInWords(word_begin, word_end, [&](size_t v) {
       job->program().Compute(part, static_cast<LocalVertexId>(v), states, ops);
       ++vertex_computes;
     });
@@ -119,7 +134,7 @@ void TriggerStage::ProcessWords(PartitionId p, const GraphPartition& part, Job* 
     const size_t begin = word_begin * 64;
     const size_t end = std::min(word_end * 64, static_cast<size_t>(part.num_local_vertices()));
     for (size_t v = begin; v < end; ++v) {
-      if (active.Test(v)) {
+      if (mask.Test(v)) {
         job->program().Compute(part, static_cast<LocalVertexId>(v), states, ops);
         ++vertex_computes;
       }
@@ -133,6 +148,78 @@ void TriggerStage::ProcessWords(PartitionId p, const GraphPartition& part, Job* 
       .fetch_add(ops.edge_traversals(), std::memory_order_relaxed);
   std::atomic_ref<uint64_t>(job->stats_.compute_units)
       .fetch_add(vertex_computes + ops.edge_traversals(), std::memory_order_relaxed);
+  return vertex_computes;
+}
+
+void TriggerStage::Redrain(PartitionId p, const GraphPartition& part, Job* job) {
+  const std::span<const LocalVertexId> interior = part.interior_locals();
+  const std::span<const LocalVertexId> replicated = part.replicated_masters();
+  if (interior.empty() && replicated.empty()) {
+    return;
+  }
+  const AccKind kind = job->program().acc_kind();
+  VertexProgram& program = job->program();
+  const double identity = AccIdentity(kind);
+  auto states = job->table().partition(p);
+  const size_t n_words = (static_cast<size_t>(part.num_local_vertices()) + 63) / 64;
+  drain_scratch_.Resize(part.num_local_vertices());
+  uint64_t drained = 0;
+  std::vector<double>& deferred = job->deferred_[p];
+  bool any_deferred = false;
+  while (true) {
+    // Collect this round's drain set: master vertices whose pending contribution the
+    // activation predicate accepts *now*. The mini-swap consumes delta_next exactly once
+    // (delta was already consumed by the sweep that scattered here); contributions the
+    // predicate rejects stay in delta_next and are discarded by the end-of-iteration
+    // global swap, exactly as BSP discards them. Mirrors are never drained — their
+    // deltas belong to their masters and travel through the mirror sync untouched.
+    drain_scratch_.ClearAll();
+    uint32_t activations = 0;
+    for (const LocalVertexId v : interior) {
+      VertexState& s = states[v];
+      if (s.delta_next == identity) {
+        continue;
+      }
+      VertexState probe = s;
+      probe.delta = s.delta_next;
+      if (!program.IsActive(probe)) {
+        continue;
+      }
+      s.delta = s.delta_next;
+      s.delta_next = identity;
+      drain_scratch_.Set(v);
+      ++activations;
+    }
+    // Replicated masters drain too: the master's copy of the contribution is consumed
+    // here, and the mirrors' copy is Acc-folded into the deferred window so the next
+    // sync boundary still delivers it — each contribution reaches every replica exactly
+    // once, the master just no longer waits an iteration to act on it.
+    for (size_t i = 0; i < replicated.size(); ++i) {
+      VertexState& s = states[replicated[i]];
+      if (s.delta_next == identity) {
+        continue;
+      }
+      VertexState probe = s;
+      probe.delta = s.delta_next;
+      if (!program.IsActive(probe)) {
+        continue;
+      }
+      deferred[i] = AccApply(kind, deferred[i], s.delta_next);
+      any_deferred = true;
+      s.delta = s.delta_next;
+      s.delta_next = identity;
+      drain_scratch_.Set(replicated[i]);
+      ++activations;
+    }
+    if (activations == 0) {
+      break;
+    }
+    drained += ProcessWords(p, part, job, drain_scratch_, 0, n_words);
+  }
+  if (any_deferred) {
+    job->deferred_pending_[p] = 1;
+  }
+  job->stats_.redrain_computes += drained;
 }
 
 }  // namespace cgraph

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/cache/memory_hierarchy.h"
+#include "src/common/bitset.h"
 #include "src/core/engine_options.h"
 #include "src/core/job.h"
 #include "src/partition/partitioned_graph.h"
@@ -46,11 +47,24 @@ class TriggerStage {
  private:
   void TriggerBatch(PartitionId p, const GraphPartition& part, std::span<Job* const> batch);
 
-  // Sweeps words [word_begin, word_end) of the job's partition-p active mask, invoking
-  // Compute on each set bit (or the dense per-vertex loop under the ablation), and
-  // flushes the stat counters with atomic adds.
-  void ProcessWords(PartitionId p, const GraphPartition& part, Job* job, size_t word_begin,
-                    size_t word_end) const;
+  // Sweeps words [word_begin, word_end) of `mask`, invoking Compute on each set bit (or
+  // the dense per-vertex loop under the ablation), and flushes the stat counters with
+  // atomic adds. `mask` is the job's partition-p active set on the normal trigger path
+  // and the re-drain set on the async path. Returns the Compute calls issued.
+  uint64_t ProcessWords(PartitionId p, const GraphPartition& part, Job* job,
+                        const DynamicBitset& mask, size_t word_begin, size_t word_end) const;
+
+  // Async intra-iteration visibility (docs/execution_modes.md): after the normal trigger
+  // sweep, repeatedly consumes pending delta_next contributions of the partition's
+  // *master* vertices that the activation predicate accepts and re-runs Compute over
+  // them, until the partition-local cascade settles. Interior masters (no replicas) are
+  // self-contained; replicated masters additionally Acc-fold each consumed delta into
+  // the job's deferred broadcast window so their mirrors still receive it at the next
+  // sync boundary — every contribution reaches every replica exactly once. Mirrors are
+  // never drained. Runs inline on the driver thread in ascending vertex order; for a
+  // monotonic program the result equals dedicating extra BSP iterations to this
+  // partition, so converged values are unchanged — only the iteration count shrinks.
+  void Redrain(PartitionId p, const GraphPartition& part, Job* job);
 
   ThreadPool* pool_;
   MemoryHierarchy* hierarchy_;
@@ -61,6 +75,7 @@ class TriggerStage {
   std::unique_ptr<std::atomic<size_t>[]> cursors_;
   std::vector<Job*> batch_scratch_;
   std::vector<uint32_t> task_slot_;
+  DynamicBitset drain_scratch_;  // Re-drain set of the partition being drained.
 };
 
 }  // namespace cgraph

@@ -75,6 +75,35 @@ class VertexProgram {
   // The accumulator joining neighbor contributions (paper's Acc()).
   virtual AccKind acc_kind() const = 0;
 
+  // Monotonicity / confluence trait (docs/execution_modes.md): declares that the
+  // program's fixpoint is independent of contribution *delivery timing* — any schedule
+  // that eventually delivers every contribution converges to the same final masters.
+  // Programs that return true contract to:
+  //   * converge to a unique fixpoint under out-of-order / batched delivery (e.g. a
+  //     min-based label fixpoint, or a peeling count whose scatters fire at most once
+  //     per vertex on a state transition, never per-iteration);
+  //   * be single-phase: OnIterationEnd never returns kNewPhase (the async push stage
+  //     has no replay of deferred contributions across a ReinitVertex sweep);
+  //   * tolerate a vertex consuming the Acc-combination of several iterations' worth of
+  //     contributions in one Compute call.
+  // Only such programs are eligible for ExecutionMode::kAsync; everything else runs BSP
+  // regardless of the configured mode. Convergence-threshold programs (pagerank/ppr)
+  // are NOT monotonic in this sense: their termination test depends on delta timing, so
+  // batching contributions changes which residuals are discarded at convergence.
+  virtual bool monotonic() const { return false; }
+
+  // Path-independence trait, consulted only when monotonic() is true: declares that the
+  // value a Compute call scatters along an edge is the vertex's candidate value itself,
+  // not an edge-accumulated quantity — any path delivers the same final value (WCC's
+  // min-label flood). For such programs the trigger stage's intra-iteration re-drain is
+  // pure profit: eagerly flooding a partition can only deliver final candidate labels,
+  // collapsing a multi-iteration local cascade into one trigger. Edge-accumulating
+  // programs (sssp's dist+weight, bfs/khop's hop counts) must leave this false: a
+  // drained scatter of a value that a shorter cross-partition path is about to improve
+  // is wasted work, and without priority ordering (delta-stepping) eager relaxation
+  // does strictly more of it than BSP's per-wave batching.
+  virtual bool path_independent() const { return false; }
+
   // Initial state of a vertex (delta doubles as the activation bootstrap).
   virtual VertexState InitialState(const LocalVertexInfo& info) const = 0;
 

@@ -51,6 +51,18 @@ struct JobStats {
   uint32_t coalesced_callers = 0;
   uint64_t deadline_step = 0;
   bool shed = false;
+  // Async-execution diagnostics (not part of the CSV schema; see
+  // docs/execution_modes.md). async_execution marks jobs that actually ran under the
+  // relaxed iteration model (mode async AND staleness > 0 AND program monotonic) — the
+  // flag to check when asserting a job was, or was not, affected by --execution=async.
+  // redrain_computes counts Compute calls issued by the trigger stage's intra-iteration
+  // master re-drain (a subset of vertex_computes); deferred_pushes counts
+  // master->mirror records withheld at deferred push boundaries by the staleness window
+  // (each fresh master delta counts its mirror fan-out once, when it is folded into the
+  // deferred window).
+  bool async_execution = false;
+  uint64_t redrain_computes = 0;
+  uint64_t deferred_pushes = 0;
 
   double ModeledComputeTime(const CostModel& model, uint32_t workers) const {
     return model.ComputeCost(compute_units) / std::max<uint32_t>(1, workers);

@@ -347,6 +347,8 @@ PartitionedGraph PartitionedGraphBuilder::Build(const EdgeList& edges,
           part.mirror_locals_.push_back(v);
         } else if (part.mirror_offsets_[v + 1] > part.mirror_offsets_[v]) {
           part.replicated_masters_.push_back(v);
+        } else {
+          part.interior_locals_.push_back(v);
         }
       }
     }

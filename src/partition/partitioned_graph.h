@@ -83,6 +83,12 @@ class GraphPartition {
   // only vertices whose merged values the broadcast phase can need to re-send.
   std::span<const LocalVertexId> replicated_masters() const { return replicated_masters_; }
 
+  // Interior vertices: masters with no replicas anywhere, ascending. Every contribution
+  // such a vertex can ever receive is scattered within this partition, so the async
+  // trigger stage may consume its delta_next mid-iteration without touching (or racing
+  // with) replica synchronization.
+  std::span<const LocalVertexId> interior_locals() const { return interior_locals_; }
+
   // Total mirror replicas of this partition's masters (== sum of mirrors_of() sizes);
   // bounds the mirror->master sync records this partition can receive in one iteration.
   uint64_t num_mirror_refs() const { return mirror_refs_.size(); }
@@ -117,6 +123,7 @@ class GraphPartition {
   // Derived indices (not counted in structure_bytes_, which models the paper's layout).
   std::vector<LocalVertexId> mirror_locals_;
   std::vector<LocalVertexId> replicated_masters_;
+  std::vector<LocalVertexId> interior_locals_;
 };
 
 // How edges are assigned to partitions.

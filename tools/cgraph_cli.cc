@@ -8,6 +8,8 @@
 //              [--theta-scale=X] [--no-straggler] [--dense-trigger] [--chunk-grain=N]
 //              [--sweep-threshold=N] [--arrivals=NAME@STEP[,NAME@STEP...]]
 //              [--admission=fifo|overlap|predict] [--aging=X] [--max-jobs=N]
+//              [--execution=bsp|async] [--staleness=N] [--defer-divisor=N]
+//              [--drain-limit=N]
 //              [--history-decay=X] [--history-buckets=N] [--slot-pools=N]
 //              [--trigger-threshold=N]
 //              [--serve] [--trace-jobs=N] [--trace-pattern=uniform|bursty|diurnal]
@@ -21,14 +23,17 @@
 // (cgraph systems only — the baselines have no runtime-admission path).
 // --admission selects the job-level admission policy consulted whenever a concurrency
 // slot (bounded by --max-jobs) frees up; see docs/scheduling.md.
+// --execution selects the iteration model (cgraph systems only): bsp (default,
+// deterministic oracle) or async (bounded-staleness execution for monotonic programs —
+// every requested job must be monotonic); see docs/execution_modes.md.
 // --serve switches to graph-service daemon mode (cgraph systems only): generates or
 // replays an arrival trace of --trace-jobs requests over the --jobs program mix and
 // drives it through the ServiceDriver with query fan-in, a bounded queue, and optional
 // queue-wait deadlines; see docs/service.md.
 //
-// Prints a per-job report table (cgraph systems add a parseable "admission:" summary
-// line; --serve adds a parseable "service:" line); --csv additionally writes
-// machine-readable rows.
+// Prints a per-job report table (cgraph systems add parseable "admission:" and
+// "execution:" summary lines; --serve adds a parseable "service:" line); --csv
+// additionally writes machine-readable rows.
 
 #include <algorithm>
 #include <cstdio>
@@ -75,6 +80,10 @@ struct CliOptions {
   uint32_t chunk_grain = 0;       // 0 = engine default.
   int64_t sweep_threshold = -1;   // < 0 = engine default.
   AdmissionPolicyKind admission = AdmissionPolicyKind::kFifo;
+  ExecutionMode execution = ExecutionMode::kBsp;
+  int64_t staleness = -1;         // < 0 = engine default.
+  int64_t defer_divisor = -1;     // < 0 = engine default.
+  int64_t drain_limit = -1;       // < 0 = engine default.
   double aging = -1.0;            // < 0 = engine default.
   uint32_t max_jobs = 0;          // 0 = engine default.
   double history_decay = -1.0;    // < 0 = engine default.
@@ -98,6 +107,19 @@ struct CliOptions {
   uint64_t deadline_steps = 0;   // 0 = no deadlines.
   bool coalesce = true;
 };
+
+constexpr const char* kKnownSystems[] = {"cgraph", "cgraph-without", "sequential",
+                                         "seraph", "seraph-vt",      "nxgraph",
+                                         "clip"};
+
+bool IsKnownSystem(const std::string& name) {
+  for (const char* known : kKnownSystems) {
+    if (name == known) {
+      return true;
+    }
+  }
+  return false;
+}
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
@@ -139,12 +161,33 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (match("--system=")) {
       options->system = value;
+      if (!IsKnownSystem(options->system)) {
+        std::fprintf(stderr,
+                     "error: --system expects cgraph, cgraph-without, sequential, "
+                     "seraph, seraph-vt, nxgraph, or clip\n");
+        return false;
+      }
     } else if (match("--partitions=")) {
-      options->partitions = static_cast<uint32_t>(std::atoi(value));
+      uint64_t partitions = 0;
+      if (!ParseUint64(value, &partitions) || partitions == 0 || partitions > 0xFFFFu) {
+        std::fprintf(stderr, "error: --partitions expects a count in [1, 65535]\n");
+        return false;
+      }
+      options->partitions = static_cast<uint32_t>(partitions);
     } else if (match("--workers=")) {
-      options->workers = static_cast<uint32_t>(std::atoi(value));
+      uint64_t workers = 0;
+      if (!ParseUint64(value, &workers) || workers == 0 || workers > 0xFFFFu) {
+        std::fprintf(stderr, "error: --workers expects a count in [1, 65535]\n");
+        return false;
+      }
+      options->workers = static_cast<uint32_t>(workers);
     } else if (match("--source=")) {
-      options->source = static_cast<VertexId>(std::atoll(value));
+      uint64_t source = 0;
+      if (!ParseUint64(value, &source) || source >= kInvalidVertex) {
+        std::fprintf(stderr, "error: --source expects a vertex id\n");
+        return false;
+      }
+      options->source = static_cast<VertexId>(source);
     } else if (match("--theta-scale=")) {
       char* end = nullptr;
       options->theta_scale = std::strtod(value, &end);
@@ -176,6 +219,38 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         std::fprintf(stderr, "error: --admission expects fifo, overlap, or predict\n");
         return false;
       }
+    } else if (match("--execution=")) {
+      if (!ParseExecutionModeName(value, &options->execution)) {
+        std::fprintf(stderr, "error: --execution expects bsp or async\n");
+        return false;
+      }
+    } else if (match("--staleness=")) {
+      uint64_t staleness = 0;
+      if (!ParseUint64(value, &staleness) || staleness > 0xFFFFu) {
+        std::fprintf(stderr,
+                     "error: --staleness expects an iteration count in [0, 65535] "
+                     "(0 = degenerate to bsp)\n");
+        return false;
+      }
+      options->staleness = static_cast<int64_t>(staleness);
+    } else if (match("--defer-divisor=")) {
+      uint64_t divisor = 0;
+      if (!ParseUint64(value, &divisor) || divisor > 0xFFFFu) {
+        std::fprintf(stderr,
+                     "error: --defer-divisor expects a divisor in [0, 65535] "
+                     "(0 = always defer up to the staleness bound)\n");
+        return false;
+      }
+      options->defer_divisor = static_cast<int64_t>(divisor);
+    } else if (match("--drain-limit=")) {
+      uint64_t limit = 0;
+      if (!ParseUint64(value, &limit) || limit > 0xFFFFFFFFu) {
+        std::fprintf(stderr,
+                     "error: --drain-limit expects an active-vertex count in "
+                     "[0, 4294967295] (0 = always re-drain)\n");
+        return false;
+      }
+      options->drain_limit = static_cast<int64_t>(limit);
     } else if (match("--aging=")) {
       char* end = nullptr;
       options->aging = std::strtod(value, &end);
@@ -301,6 +376,26 @@ bool IsKnownJob(const std::string& name) {
   return false;
 }
 
+// Parseable execution-mode summary (consumed by tools/run_bench.sh): which iteration
+// model actually applied, per docs/execution_modes.md — async_jobs counts jobs that ran
+// under the relaxed model (monotonic programs with a non-degenerate staleness window).
+void PrintExecutionLine(const RunReport& report, const EngineOptions& engine_options) {
+  size_t async_jobs = 0;
+  uint64_t redrain = 0;
+  uint64_t deferred = 0;
+  for (const auto& job : report.jobs) {
+    async_jobs += job.async_execution ? 1 : 0;
+    redrain += job.redrain_computes;
+    deferred += job.deferred_pushes;
+  }
+  std::printf(
+      "execution: mode=%s staleness=%u async_jobs=%zu redrain_computes=%llu "
+      "deferred_pushes=%llu\n",
+      ExecutionModeName(engine_options.execution_mode), engine_options.staleness,
+      async_jobs, static_cast<unsigned long long>(redrain),
+      static_cast<unsigned long long>(deferred));
+}
+
 void PrintUsage() {
   std::printf(
       "cgraph_cli — concurrent iterative graph processing (CGraph reproduction)\n\n"
@@ -332,6 +427,21 @@ void PrintUsage() {
       "                        1/256; only jobs arriving within 1/X steps of a due\n"
       "                        waiter can overtake it)\n"
       "  --max-jobs=N          concurrency slots before admission queues (default 64)\n"
+      "  --execution=NAME      iteration model (cgraph systems only): bsp (default;\n"
+      "                        deterministic correctness oracle) or async (bounded-\n"
+      "                        staleness for monotonic programs: intra-iteration re-\n"
+      "                        drain of partition-interior updates + mirror sync lagging\n"
+      "                        masters by at most --staleness iterations; identical\n"
+      "                        converged values, fewer iterations). Every requested job\n"
+      "                        must be monotonic: sssp bfs wcc kcore khop\n"
+      "  --staleness=N         async mirror-sync lag bound in iterations (default 1;\n"
+      "                        0 degenerates to bsp; ignored under --execution=bsp)\n"
+      "  --defer-divisor=N     async adaptive-deferral heat threshold: a boundary only\n"
+      "                        defers while fresh master records >= replicated/N\n"
+      "                        (default 1; 0 = always defer up to the staleness bound)\n"
+      "  --drain-limit=N       async re-drain gate: drain a partition only when its\n"
+      "                        active count is <= N (default 0 = always drain eligible\n"
+      "                        programs)\n"
       "  --history-decay=X     footprint-history decay in [0,1] (default 0.5): profile\n"
       "                        contributions are scaled by X before each new completion\n"
       "                        folds in (1 = plain mean, 0 = latest job only)\n"
@@ -403,6 +513,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --serve and --arrivals are mutually exclusive\n");
     return 2;
   }
+  if (options.execution == ExecutionMode::kAsync) {
+    if (!is_cgraph_system) {
+      std::fprintf(stderr,
+                   "error: --execution=async requires --system=cgraph|cgraph-without "
+                   "(the baselines have no bounded-staleness path)\n");
+      return 2;
+    }
+    // Job names are validated above, so the factory probe cannot trip on an unknown
+    // name. Source 0 is arbitrary — monotonic() is a program-type property.
+    auto reject_non_monotonic = [](const std::string& name) {
+      if (MakeProgram(name, 0)->monotonic()) {
+        return false;
+      }
+      std::fprintf(stderr,
+                   "error: job '%s' is not monotonic and cannot run under "
+                   "--execution=async; monotonic jobs: sssp, bfs, wcc, kcore, khop "
+                   "(drop it or use --execution=bsp)\n",
+                   name.c_str());
+      return true;
+    };
+    for (const auto& job : options.jobs) {
+      if (reject_non_monotonic(job)) {
+        return 2;
+      }
+    }
+    for (const auto& arrival : options.arrivals) {
+      if (reject_non_monotonic(arrival.job)) {
+        return 2;
+      }
+    }
+  }
 
   EdgeList edges;
   if (!options.graph_path.empty()) {
@@ -439,6 +580,16 @@ int main(int argc, char** argv) {
     engine_options.parallel_sweep_threshold = static_cast<uint32_t>(options.sweep_threshold);
   }
   engine_options.admission_policy = options.admission;
+  engine_options.execution_mode = options.execution;
+  if (options.staleness >= 0) {
+    engine_options.staleness = static_cast<uint32_t>(options.staleness);
+  }
+  if (options.defer_divisor >= 0) {
+    engine_options.async_defer_divisor = static_cast<uint32_t>(options.defer_divisor);
+  }
+  if (options.drain_limit >= 0) {
+    engine_options.async_drain_limit = static_cast<uint32_t>(options.drain_limit);
+  }
   if (options.aging > 0.0) {
     engine_options.admission_aging = options.aging;
   }
@@ -538,6 +689,7 @@ int main(int argc, char** argv) {
         sreport.mean_latency_steps, sreport.max_latency_steps,
         static_cast<unsigned long long>(sreport.final_step), sreport.wall_seconds,
         sreport.sustained_jobs_per_second);
+    PrintExecutionLine(engine.Report(), engine_options);
 
     if (!options.csv_path.empty()) {
       const Status status = WriteRunReportCsv(engine.Report(), cost, options.csv_path);
@@ -649,6 +801,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(max_wait), waited, scored,
         scored == 0 ? 0.0 : scored_overlap / static_cast<double>(scored), predicted,
         predicted == 0 ? 0.0 : predicted_overlap / static_cast<double>(predicted));
+    PrintExecutionLine(report, engine_options);
   }
 
   if (!options.csv_path.empty()) {

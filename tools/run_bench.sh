@@ -21,7 +21,15 @@
 # jobs/s — and a "service" section from a graph-service daemon replay (docs/service.md):
 # a 1000-request bursty arrival trace driven through cgraph_cli --serve, recording
 # p50/p95/p99/mean completion latency in scheduling steps (deterministic), the query
-# fan-in dedup ratio, shed counts, and sustained completed-requests/s (wall).
+# fan-in dedup ratio, shed counts, and sustained completed-requests/s (wall). The replay
+# runs 3 times and the median-wall run is recorded (the step/latency figures are
+# identical across runs by construction).
+#
+# An "execution" section compares the bsp and async iteration models
+# (docs/execution_modes.md) on the monotonic job mix: modeled compute units and push
+# updates (exact, machine-independent), 3x-median walls and jobs/s, the async re-drain /
+# deferred-push diagnostics, and an async service-daemon replay of a monotonic request
+# mix.
 #
 # Usage: tools/run_bench.sh [BUILD_DIR] (default: build/release-all, configured on demand)
 # Env:   OUT=path/to/record.json   override the output path (default: BENCH_ltp.json)
@@ -34,7 +42,9 @@
 #                                  regression where extra workers cost throughput);
 #                                  (3) service fan-in — a repeated-query daemon trace
 #                                  must report dedup_ratio > 0 and account for every
-#                                  request
+#                                  request; (4) execution mode — async must spend fewer
+#                                  modeled compute units than bsp on the monotonic mix
+#                                  (exact)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -80,6 +90,16 @@ SVC_SEED=42
 SVC_PARTITIONS=16
 SVC_QUEUE_BOUND=64
 
+# Execution-mode workload: the monotonic mix on the headline graph
+# (docs/execution_modes.md). Compute units and push updates are modeled and
+# run-invariant; only walls need the median-of-3. The async service replay swaps the
+# daemon's request mix for an all-monotonic one (the CLI rejects async requests for
+# non-monotonic programs).
+EXEC_JOBS="sssp,wcc,kcore"
+EXEC_PARTITIONS=32
+EXEC_STALENESS=1
+EXEC_SVC_JOBS="sssp,wcc,bfs,kcore"
+
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
@@ -124,13 +144,14 @@ run_admission() {  # $1 = policy, $2 = workers;
   echo "$mean $max $scored $overlap $wall"
 }
 
-run_service() {  # $1 = workers; prints the parseable "service:" summary line
-  local stdout line
+run_service() {  # $1 = workers, $2... = extra flags; prints the "service:" summary line
+  local workers=$1 stdout line
+  shift
   stdout=$("$BUILD_DIR/tools/cgraph_cli" --serve --rmat="$SVC_RMAT" --jobs="$SVC_JOBS" \
     --trace-jobs="$SVC_TRACE_JOBS" --trace-pattern="$SVC_PATTERN" \
     --trace-burst="$SVC_BURST" --trace-gap="$SVC_GAP" --trace-sources="$SVC_SOURCES" \
     --trace-seed="$SVC_SEED" --partitions="$SVC_PARTITIONS" \
-    --queue-bound="$SVC_QUEUE_BOUND" --workers="$1")
+    --queue-bound="$SVC_QUEUE_BOUND" --workers="$workers" "$@")
   line=$(grep '^service:' <<<"$stdout")
   if [ -z "$line" ]; then
     echo "error: cgraph_cli --serve printed no service summary" >&2
@@ -141,6 +162,27 @@ run_service() {  # $1 = workers; prints the parseable "service:" summary line
 
 svc_field() {  # $1 = service line, $2 = field name; prints its numeric value
   sed -n "s/.* $2=\\([0-9.]*\\).*/\\1/p" <<<"$1"
+}
+
+# Runs the service replay RUNS_PER_POINT times and prints the summary line of the
+# median-wall run. The step/latency figures are deterministic for a fixed trace, so any
+# run carries them verbatim — the median only de-noises the wall-clock fields.
+run_service_median() {  # args forwarded to run_service
+  local lines line
+  lines=$(mktemp)
+  for _ in $(seq "$RUNS_PER_POINT"); do
+    line=$(run_service "$@")
+    echo "$(svc_field "$line" wall_seconds) $line" >> "$lines"
+  done
+  sort -g "$lines" |
+    awk -v n="$RUNS_PER_POINT" 'NR == int((n + 1) / 2) { $1 = ""; sub(/^ /, ""); print }'
+  rm -f "$lines"
+}
+
+run_exec() {  # $1 = workers, $2... = extra flags; prints "cu push mtime wall" (total row)
+  "$BUILD_DIR/tools/cgraph_cli" --rmat="$RMAT" --jobs="$EXEC_JOBS" \
+    --partitions="$EXEC_PARTITIONS" --workers="$1" --csv="$CSV" "${@:2}" >/dev/null
+  awk -F, '$2 == "total" { print $7, $6, $13, $14 }' "$CSV"
 }
 
 if [ "${SMOKE:-0}" = "1" ]; then
@@ -196,7 +238,7 @@ if [ "${SMOKE:-0}" = "1" ]; then
   # Service fan-in gate: the repeated-query daemon trace must coalesce something, and
   # every request must be accounted for (completed + shed == total). Both are modeled
   # quantities — exact and machine-independent.
-  SVC_LINE=$(run_service 1)
+  SVC_LINE=$(run_service_median 1)
   SVC_TOTAL=$(svc_field "$SVC_LINE" requests)
   SVC_DONE=$(svc_field "$SVC_LINE" completed)
   SVC_SHED=$(svc_field "$SVC_LINE" shed)
@@ -212,6 +254,19 @@ if [ "${SMOKE:-0}" = "1" ]; then
     exit 1
   fi
   echo "OK: service daemon coalesces (dedup_ratio=$SVC_DEDUP) and accounts for every request"
+
+  # Execution-mode gate: async must spend fewer modeled compute units than bsp on the
+  # monotonic mix (exact and machine-independent — compute units don't depend on worker
+  # count or wall noise).
+  read -r BSP_CU BSP_PUSH _ _ <<<"$(run_exec 1)"
+  read -r AS_CU AS_PUSH _ _ <<<"$(run_exec 1 --execution=async --staleness="$EXEC_STALENESS")"
+  echo "execution smoke (workers=1): bsp compute_units=$BSP_CU push=$BSP_PUSH;" \
+       "async compute_units=$AS_CU push=$AS_PUSH"
+  if [ "$AS_CU" -ge "$BSP_CU" ]; then
+    echo "FAIL: async execution no longer reduces compute units (bsp=$BSP_CU async=$AS_CU)" >&2
+    exit 1
+  fi
+  echo "OK: async reduces compute units ($BSP_CU -> $AS_CU)"
   exit 0
 fi
 
@@ -252,9 +307,9 @@ emit_policy() {  # $1 name, $2 mean, $3 max, $4 scored, $5 overlap, $6 wall, $7 
   printf '  },\n'
 } > "$ADMISSION"
 
-# Service-daemon replay at the headline worker count. Everything except wall_seconds and
-# sustained_jobs_per_second is deterministic for the fixed trace.
-SVC_LINE=$(run_service 4)
+# Service-daemon replay at the headline worker count, median wall of 3 runs. Everything
+# except wall_seconds and sustained_jobs_per_second is deterministic for the fixed trace.
+SVC_LINE=$(run_service_median 4)
 {
   printf '  "service": {\n'
   printf '    "config": {"rmat": "%s", "jobs": "%s", "trace_jobs": %d, "pattern": "%s", ' \
@@ -276,8 +331,68 @@ SVC_LINE=$(run_service 4)
   printf '    "wall_seconds": %s,\n' "$(svc_field "$SVC_LINE" wall_seconds)"
   printf '    "sustained_jobs_per_second": %s\n' \
          "$(svc_field "$SVC_LINE" sustained_jobs_per_second)"
-  printf '  }\n'
+  printf '  },\n'
 } > "$SERVICE"
+
+# Execution-mode comparison: bsp vs async on the monotonic mix (headline graph,
+# workers=4). Compute units and push updates are modeled (run-invariant, taken from the
+# last run); walls are median-of-3. The async diagnostics come from the CLI's
+# parseable "execution:" line, and the async service replay reuses the daemon workload
+# with an all-monotonic request mix.
+EXECUTION=$(mktemp)
+trap 'rm -f "$CSV" "$WALLS" "$ADMISSION" "$ADM_POINT" "$ADM_CSV" "$SERVICE" "$EXECUTION"' EXIT
+EXEC_POINT=$(mktemp)
+: > "$EXEC_POINT"
+for _ in $(seq "$RUNS_PER_POINT"); do
+  run_exec 4 >> "$EXEC_POINT"
+done
+BSP_CU=$(awk 'NR == 1 { print $1 }' "$EXEC_POINT")
+BSP_PUSH=$(awk 'NR == 1 { print $2 }' "$EXEC_POINT")
+BSP_MTIME=$(awk 'NR == 1 { print $3 }' "$EXEC_POINT")
+BSP_WALL=$(awk '{ print $4 }' "$EXEC_POINT" | sort -g |
+           awk -v n="$RUNS_PER_POINT" 'NR == int((n + 1) / 2)')
+: > "$EXEC_POINT"
+for _ in $(seq "$RUNS_PER_POINT"); do
+  run_exec 4 --execution=async --staleness="$EXEC_STALENESS" >> "$EXEC_POINT"
+done
+AS_CU=$(awk 'NR == 1 { print $1 }' "$EXEC_POINT")
+AS_PUSH=$(awk 'NR == 1 { print $2 }' "$EXEC_POINT")
+AS_MTIME=$(awk 'NR == 1 { print $3 }' "$EXEC_POINT")
+AS_WALL=$(awk '{ print $4 }' "$EXEC_POINT" | sort -g |
+          awk -v n="$RUNS_PER_POINT" 'NR == int((n + 1) / 2)')
+rm -f "$EXEC_POINT"
+EXEC_LINE=$("$BUILD_DIR/tools/cgraph_cli" --rmat="$RMAT" --jobs="$EXEC_JOBS" \
+  --partitions="$EXEC_PARTITIONS" --workers=4 --execution=async \
+  --staleness="$EXEC_STALENESS" --csv="$CSV" | grep '^execution:')
+EXEC_SVC_LINE=$(run_service_median 4 --jobs="$EXEC_SVC_JOBS" --execution=async \
+  --staleness="$EXEC_STALENESS")
+EXEC_NUM_JOBS=$(awk -F, 'NR > 1 && $2 != "total"' "$CSV" | wc -l)
+{
+  printf '  "execution": {\n'
+  printf '    "config": {"rmat": "%s", "jobs": "%s", "partitions": %d, "workers": 4, ' \
+         "$RMAT" "$EXEC_JOBS" "$EXEC_PARTITIONS"
+  printf '"staleness": %d, "runs_per_point": %d},\n' "$EXEC_STALENESS" "$RUNS_PER_POINT"
+  awk -v n="$EXEC_NUM_JOBS" -v cu="$BSP_CU" -v push="$BSP_PUSH" -v mtime="$BSP_MTIME" \
+      -v wall="$BSP_WALL" \
+    'BEGIN { printf "    \"bsp\": {\"compute_units\": %s, \"push_updates\": %s, \"modeled_time\": %s, \"jobs_per_modeled_unit\": %.6g, \"wall_seconds_median\": %s, \"jobs_per_second_wall\": %.4f},\n", cu, push, mtime, (mtime > 0 ? n / mtime : 0), wall, (wall > 0 ? n / wall : 0) }'
+  awk -v n="$EXEC_NUM_JOBS" -v cu="$AS_CU" -v push="$AS_PUSH" -v mtime="$AS_MTIME" \
+      -v wall="$AS_WALL" \
+      -v redrain="$(svc_field "$EXEC_LINE" redrain_computes)" \
+      -v deferred="$(svc_field "$EXEC_LINE" deferred_pushes)" \
+    'BEGIN { printf "    \"async\": {\"compute_units\": %s, \"push_updates\": %s, \"modeled_time\": %s, \"jobs_per_modeled_unit\": %.6g, \"redrain_computes\": %s, \"deferred_pushes\": %s, \"wall_seconds_median\": %s, \"jobs_per_second_wall\": %.4f},\n", cu, push, mtime, (mtime > 0 ? n / mtime : 0), redrain, deferred, wall, (wall > 0 ? n / wall : 0) }'
+  awk -v b="$BSP_CU" -v a="$AS_CU" \
+    'BEGIN { printf "    \"compute_units_ratio_async_over_bsp\": %.4f,\n", (b > 0 ? a / b : 0) }'
+  awk -v b="$BSP_MTIME" -v a="$AS_MTIME" \
+    'BEGIN { printf "    \"modeled_time_ratio_async_over_bsp\": %.4f,\n", (b > 0 ? a / b : 0) }'
+  printf '    "async_service": {"jobs": "%s", "completed": %s, "shed": %s, ' \
+         "$EXEC_SVC_JOBS" "$(svc_field "$EXEC_SVC_LINE" completed)" \
+         "$(svc_field "$EXEC_SVC_LINE" shed)"
+  printf '"p95_latency_steps": %s, "wall_seconds_median": %s, "sustained_jobs_per_second": %s}\n' \
+         "$(svc_field "$EXEC_SVC_LINE" p95)" \
+         "$(svc_field "$EXEC_SVC_LINE" wall_seconds)" \
+         "$(svc_field "$EXEC_SVC_LINE" sustained_jobs_per_second)"
+  printf '  }\n'
+} > "$EXECUTION"
 
 # $CSV still holds the last (workers=4) sweep run; modeled columns are run-invariant.
 awk -F, -v rmat="$RMAT" -v jobs="$JOBS" -v arrivals="$ARRIVALS" \
@@ -325,7 +440,7 @@ awk -F, -v rmat="$RMAT" -v jobs="$JOBS" -v arrivals="$ARRIVALS" \
     printf "  \"total_compute_units\": %s,\n", compute_units
     printf "  \"bytes_below_cache\": %s,\n", below_cache
   }' "$CSV" > "$OUT"
-cat "$ADMISSION" "$SERVICE" >> "$OUT"
+cat "$ADMISSION" "$SERVICE" "$EXECUTION" >> "$OUT"
 echo "}" >> "$OUT"
 
 echo "wrote $OUT"
