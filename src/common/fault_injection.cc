@@ -1,0 +1,119 @@
+#include "src/common/fault_injection.h"
+
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace cgraph {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLoadError:
+      return "load";
+    case FaultKind::kTriggerError:
+      return "trigger";
+    case FaultKind::kPushError:
+      return "push";
+    case FaultKind::kCorruptState:
+      return "corrupt";
+    case FaultKind::kCancel:
+      return "cancel";
+    case FaultKind::kNone:
+      break;
+  }
+  return "none";
+}
+
+bool ParseFaultSpec(std::string_view text, FaultSpec* out) {
+  const size_t at = text.find('@');
+  if (at == std::string_view::npos || at == 0) {
+    return false;
+  }
+  const std::string_view kind_name = text.substr(0, at);
+  FaultKind kind = FaultKind::kNone;
+  if (kind_name == "load") {
+    kind = FaultKind::kLoadError;
+  } else if (kind_name == "trigger") {
+    kind = FaultKind::kTriggerError;
+  } else if (kind_name == "push") {
+    kind = FaultKind::kPushError;
+  } else if (kind_name == "corrupt") {
+    kind = FaultKind::kCorruptState;
+  } else if (kind_name == "cancel") {
+    kind = FaultKind::kCancel;
+  } else {
+    return false;
+  }
+  std::string_view rest = text.substr(at + 1);
+  std::string_view step_text = rest;
+  std::string_view job_text;
+  const size_t colon = rest.find(':');
+  if (colon != std::string_view::npos) {
+    step_text = rest.substr(0, colon);
+    job_text = rest.substr(colon + 1);
+    if (job_text.empty()) {
+      return false;
+    }
+  }
+  uint64_t step = 0;
+  if (!ParseUint64(step_text, &step)) {
+    return false;
+  }
+  JobId job = kInvalidJob;
+  if (!job_text.empty()) {
+    uint64_t parsed = 0;
+    if (!ParseUint64(job_text, &parsed) || parsed >= kInvalidJob) {
+      return false;
+    }
+    job = static_cast<JobId>(parsed);
+  }
+  out->kind = kind;
+  out->step = step;
+  out->job = job;
+  return true;
+}
+
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs, uint64_t seed) : seed_(seed) {
+  entries_.reserve(specs.size());
+  for (FaultSpec& spec : specs) {
+    if (spec.kind != FaultKind::kNone) {
+      entries_.push_back(Entry{spec, /*fired=*/false});
+    }
+  }
+}
+
+const FaultSpec* FaultInjector::Poll(FaultKind kind, uint64_t step, JobId job) {
+  for (Entry& entry : entries_) {
+    if (entry.fired || entry.spec.kind != kind || step < entry.spec.step) {
+      continue;
+    }
+    if (entry.spec.job != kInvalidJob && entry.spec.job != job) {
+      continue;
+    }
+    entry.fired = true;
+    return &entry.spec;
+  }
+  return nullptr;
+}
+
+uint64_t FaultInjector::CorruptionPoint(JobId job) const {
+  // splitmix64: a well-mixed pure function of (seed, job) — the same job always loses the
+  // same vertex, independent of schedule, worker count, or platform.
+  uint64_t x = seed_ + 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(job) + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+size_t FaultInjector::fired() const {
+  size_t count = 0;
+  for (const Entry& entry : entries_) {
+    count += entry.fired ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace cgraph

@@ -1,0 +1,89 @@
+// Deterministic fault-injection harness (docs/robustness.md).
+//
+// A FaultInjector holds a fixed plan of FaultSpecs — each "fire kind K at scheduling step
+// S, optionally pinned to job J" — and the engine polls it at the handful of sites where a
+// per-job failure can originate (stage errors, state corruption, mid-run cancellation).
+// Every coordinate is in the repo's determinism currency (scheduling steps, job ids), so an
+// injected failure reproduces bit-for-bit across runs, worker counts, and sanitizers:
+// tests and CI can assert exact recovery outcomes instead of racing a timeout.
+//
+// The harness is compiled in always and zero-cost when unarmed: an engine with no specs
+// pays one boolean load per poll site guard (`armed()`), nothing else. Specs fire at the
+// *first* matching poll with step >= spec.step — ">=" rather than "==" because the exact
+// steps at which a given job is polled depend on the schedule; pinning to "at or after S"
+// is what stays robust when workloads shift.
+
+#ifndef SRC_COMMON_FAULT_INJECTION_H_
+#define SRC_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cgraph {
+
+// What the injected failure simulates. The first three are per-job stage errors surfaced
+// as an engine Status (the paths real invariant violations take); kCorruptState scribbles
+// garbage into the job's vertex states *before* failing it, so recovery tests prove a
+// checkpoint restore discards the damage; kCancel exercises the mid-run cancellation path
+// (the daemon's running-job deadline) rather than an error path.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kLoadError,      // Fails the job when the Load stage reaches it.
+  kTriggerError,   // Fails the job after its partition trigger.
+  kPushError,      // Fails the job at its iteration-boundary push.
+  kCorruptState,   // Corrupts one vertex state, then fails the job.
+  kCancel,         // Cancels the running job (simulated mid-run deadline expiry).
+};
+
+// CLI spelling of a kind ("load", "trigger", "push", "corrupt", "cancel").
+const char* FaultKindName(FaultKind kind);
+
+// One planned failure: fire `kind` at the first matching poll with step >= `step`,
+// restricted to `job` when set (kInvalidJob = whichever matching job is polled first).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t step = 0;
+  JobId job = kInvalidJob;
+};
+
+// Parses "KIND@STEP" or "KIND@STEP:JOB" (the --inject-fault grammar). Returns false,
+// leaving *out untouched, on an unknown kind or malformed numbers so callers can emit a
+// usage error listing the valid spellings.
+bool ParseFaultSpec(std::string_view text, FaultSpec* out);
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  // `seed` picks deterministic corruption targets (which vertex gets scribbled).
+  FaultInjector(std::vector<FaultSpec> specs, uint64_t seed);
+
+  // False when no spec was configured — the only check hot paths make.
+  bool armed() const { return !entries_.empty(); }
+
+  // Fires and returns the first un-fired spec matching (kind, step >= spec.step, job
+  // pinned to `job` or unpinned); nullptr when nothing fires. Each spec fires exactly
+  // once, so a restarted job does not re-trip the fault that killed it.
+  const FaultSpec* Poll(FaultKind kind, uint64_t step, JobId job);
+
+  // Deterministic corruption coordinate for `job`: splitmix64 over (seed, job).
+  uint64_t CorruptionPoint(JobId job) const;
+
+  uint64_t seed() const { return seed_; }
+  // Specs that have fired so far (fault_tolerance_test asserts exact counts).
+  size_t fired() const;
+
+ private:
+  struct Entry {
+    FaultSpec spec;
+    bool fired = false;
+  };
+  std::vector<Entry> entries_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace cgraph
+
+#endif  // SRC_COMMON_FAULT_INJECTION_H_

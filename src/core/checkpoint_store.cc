@@ -1,0 +1,18 @@
+#include "src/core/checkpoint_store.h"
+
+#include <utility>
+
+namespace cgraph {
+
+void CheckpointStore::Save(JobId id, JobCheckpoint snapshot) {
+  checkpoints_[id] = std::move(snapshot);
+}
+
+const JobCheckpoint* CheckpointStore::Find(JobId id) const {
+  const auto it = checkpoints_.find(id);
+  return it == checkpoints_.end() ? nullptr : &it->second;
+}
+
+void CheckpointStore::Drop(JobId id) { checkpoints_.erase(id); }
+
+}  // namespace cgraph

@@ -5,8 +5,10 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "src/cache/memory_hierarchy.h"
+#include "src/common/fault_injection.h"
 #include "src/metrics/cost_model.h"
 
 namespace cgraph {
@@ -175,6 +177,31 @@ struct EngineOptions {
 
   // Safety valve against non-converging programs.
   uint64_t max_iterations_per_job = 10000;
+
+  // Fault-tolerance layer (docs/robustness.md). All four knobs default off; the engine
+  // pays nothing for the subsystem when they stay there.
+
+  // Planned injected failures (CLI: --inject-fault=KIND@STEP[:JOB], repeatable). Empty =
+  // harness unarmed; each poll site then costs one boolean load.
+  std::vector<FaultSpec> fault_specs;
+
+  // Seed for deterministic corruption-target selection under --inject-fault=corrupt@...
+  uint64_t fault_seed = 42;
+
+  // Iteration-boundary checkpointing (CLI: --checkpoint-every): every K-th iteration of a
+  // running job snapshots its vertex values, deferred async windows, and stats into the
+  // engine's CheckpointStore, enabling RestartFromCheckpoint after a failure or
+  // cancellation. 0 = off. Checkpoints are bookkeeping, not modeled work: they add no
+  // hierarchy charge, so modeled CSVs are byte-identical with checkpointing on or off
+  // (their modeled cost is reported separately via stats().checkpoint_bytes).
+  uint64_t checkpoint_every = 0;
+
+  // Per-job execution budget in scheduling steps (CLI: --job-step-budget): a job still
+  // running this many steps after its admission is cancelled mid-run (terminal
+  // stats().cancelled; restartable from its last checkpoint). The budget restarts on
+  // every (re-)admission. 0 = off. This is the daemon's lever for bounding *execution*,
+  // complementing deadline_steps which bounds queue wait only.
+  uint64_t job_step_budget = 0;
 };
 
 }  // namespace cgraph

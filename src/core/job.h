@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/bitset.h"
+#include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/core/vertex_program.h"
 #include "src/metrics/run_report.h"
@@ -107,6 +108,16 @@ class Job {
   uint64_t iteration_ = 0;
   bool finished_ = false;
   JobStats stats_;
+  // Per-job failure isolation (docs/robustness.md): a stage that detects a per-job
+  // invariant violation (or an injected fault) records it here instead of aborting the
+  // process; the engine's step loop routes a non-ok status into JobManager::FailJob,
+  // which retires only this job. Reset at (re-)admission.
+  Status fail_status_;
+  // Step at which the job was (last) admitted; the base of the --job-step-budget clock.
+  uint64_t admit_step_ = 0;
+  // Set by LtpEngine::RestartFromCheckpoint while the job waits for re-admission:
+  // InitJob then restores from the checkpoint instead of initializing fresh state.
+  bool restore_pending_ = false;
   // Async (bounded-staleness) execution state; see docs/execution_modes.md. async_ is
   // the job's *effective* mode, fixed at init: options say async AND staleness > 0 AND
   // the program declares monotonic(). All three fields are untouched under BSP.

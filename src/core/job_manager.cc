@@ -72,6 +72,10 @@ JobManager::JobManager(const PartitionedGraph& layout, GlobalTable* table,
   if (options.admission_policy != AdmissionPolicyKind::kFifo) {
     CGRAPH_CHECK(options.admission_aging > 0.0);
   }
+  // The checkpoint subsystem exists only when asked for; runs without it pay nothing.
+  if (options.checkpoint_every > 0) {
+    checkpoints_ = std::make_unique<CheckpointStore>();
+  }
 }
 
 JobId JobManager::Submit(std::unique_ptr<VertexProgram> program, Timestamp submit_time,
@@ -311,6 +315,13 @@ void JobManager::InitJob(Job& job, uint32_t slot) {
   job.slot_ = slot;
   slot_jobs_[slot] = &job;
   ++running_;
+  // The step-budget clock and failure state restart on every (re-)admission.
+  job.admit_step_ = current_step_;
+  job.fail_status_ = Status();
+  if (job.restore_pending_) {
+    RestoreJob(job);
+    return;
+  }
   job.table_ = PrivateTable(g);
   job.active_.resize(g.num_partitions());
   job.active_count_.assign(g.num_partitions(), 0);
@@ -369,6 +380,161 @@ void JobManager::InitJob(Job& job, uint32_t slot) {
     // engine uptime at its admission.
     job.stats_.wall_seconds = 0.0;
   }
+}
+
+void JobManager::RestoreJob(Job& job) {
+  const PartitionedGraph& g = layout_;
+  const JobCheckpoint* cp = FindCheckpoint(job.id_);
+  // Reenqueue verified a checkpoint exists; losing it before admission is a bug.
+  CGRAPH_CHECK(cp != nullptr);
+  job.restore_pending_ = false;
+  // Counters resume from the boundary snapshot so the recovered run reports the same
+  // compute totals as an undisturbed one. The recovery count accumulates across
+  // restarts, and the service-layer annotations belong to the current submission.
+  const uint32_t recoveries = job.stats_.recoveries + 1;
+  const uint32_t coalesced = job.stats_.coalesced_callers;
+  const uint64_t deadline = job.stats_.deadline_step;
+  job.stats_ = cp->stats;
+  job.stats_.recoveries = recoveries;
+  job.stats_.coalesced_callers = coalesced;
+  job.stats_.deadline_step = deadline;
+
+  job.table_ = cp->table;
+  job.iteration_ = cp->iteration;
+  job.since_sync_ = cp->since_sync;
+  job.deferred_ = cp->deferred;
+  job.deferred_pending_ = cp->deferred_pending;
+  job.activity_trace_ = cp->activity_trace;
+  // Same effective-mode derivation as a fresh init; the snapshot's async state matches
+  // because the options and program are the job's own.
+  job.async_ = options_.execution_mode == ExecutionMode::kAsync && options_.staleness > 0 &&
+               job.program().monotonic();
+
+  job.active_.resize(g.num_partitions());
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    job.active_[p].Resize(g.partition(p).num_local_vertices());
+  }
+  job.active_count_.assign(g.num_partitions(), 0);
+  job.processed_.assign(g.num_partitions(), false);
+  job.dirty_.assign(g.num_partitions(), false);
+  job.change_fraction_.assign(g.num_partitions(), 0.0);
+  job.sync_in_.resize(g.num_partitions());
+  job.broadcast_.resize(g.num_partitions());
+  for (PartitionId p = 0; p < g.num_partitions(); ++p) {
+    job.sync_in_[p].clear();
+    job.sync_in_[p].reserve(g.partition(p).num_mirror_refs());
+    job.broadcast_[p].clear();
+    job.broadcast_[p].reserve(g.partition(p).mirror_locals().size());
+  }
+  // Masks, counts, fractions, and registrations are pure functions of the restored
+  // states at an iteration boundary: the all-partition re-sweep reproduces them exactly
+  // (inactive partitions land on fraction 0, which is also their pre-failure value —
+  // a partition's fraction was zeroed by the sweep that deactivated it).
+  const uint64_t active = RefreshActivity(job, /*all_partitions=*/true, /*swap_buffers=*/false,
+                                          /*initial=*/false);
+  if (active == 0) {
+    // Snapshots are only taken while registered, so this means the checkpointed state
+    // already converged — finalize as a normal completion.
+    FinalizeJob(job);
+  }
+}
+
+void JobManager::FailJob(Job& job, Status status) {
+  CGRAPH_CHECK(!status.ok());
+  CGRAPH_CHECK(job.started_ && !job.finished_);
+  job.stats_.failed = true;
+  job.stats_.fail_message = status.ToString();
+  job.fail_status_ = std::move(status);
+  FinalizeJob(job);
+  // The freed slot admits the next due waiter, exactly like a clean completion.
+  AdmitDue(current_step_);
+}
+
+void JobManager::CancelRunning(Job& job) {
+  CGRAPH_CHECK(job.started_ && !job.finished_);
+  job.stats_.cancelled = true;
+  FinalizeJob(job);
+  AdmitDue(current_step_);
+}
+
+uint32_t JobManager::CancelOverBudget(uint64_t step) {
+  if (options_.job_step_budget == 0) {
+    return 0;
+  }
+  uint32_t cancelled = 0;
+  // Ascending slot order for a deterministic cancellation sequence; FinalizeJob nulls
+  // the scanned entry, so indexed iteration stays valid.
+  for (size_t s = 0; s < slot_jobs_.size(); ++s) {
+    Job* job = slot_jobs_[s];
+    if (job != nullptr && step >= job->admit_step_ + options_.job_step_budget) {
+      job->stats_.cancelled = true;
+      FinalizeJob(*job);
+      ++cancelled;
+    }
+  }
+  if (cancelled > 0) {
+    AdmitDue(step);
+  }
+  return cancelled;
+}
+
+Status JobManager::Reenqueue(JobId id, uint64_t arrival_step) {
+  if (id >= jobs_.size()) {
+    return Status::NotFound("Reenqueue: no job " + std::to_string(id));
+  }
+  Job& job = *jobs_[id];
+  // Shed is accepted too: a restored job re-shed while waiting for its slot still has a
+  // checkpoint to resume from.
+  if (!job.finished_ || !(job.stats_.failed || job.stats_.cancelled || job.stats_.shed)) {
+    return Status::FailedPrecondition("Reenqueue: job " + std::to_string(id) +
+                                      " is not terminally failed, cancelled, or shed");
+  }
+  if (FindCheckpoint(id) == nullptr) {
+    return Status::NotFound("Reenqueue: job " + std::to_string(id) + " has no checkpoint");
+  }
+  job.finished_ = false;
+  job.started_ = false;
+  job.restore_pending_ = true;
+  // The terminal flags belong to the failed attempt; stats are fully rebuilt from the
+  // snapshot at restore, this just keeps the waiting-state readback coherent.
+  job.stats_.failed = false;
+  job.stats_.cancelled = false;
+  job.stats_.shed = false;
+  job.fail_status_ = Status();
+  arrival_step = std::max(arrival_step, current_step_);
+  auto it = std::upper_bound(waiting_.begin(), waiting_.end(), arrival_step,
+                             [](uint64_t step, const Waiter& w) { return step < w.arrival_step; });
+  waiting_.insert(it, Waiter{id, arrival_step});
+  return Status::Ok();
+}
+
+const JobCheckpoint* JobManager::FindCheckpoint(JobId id) const {
+  return checkpoints_ == nullptr ? nullptr : checkpoints_->Find(id);
+}
+
+void JobManager::MaybeCheckpoint(Job& job) {
+  if (checkpoints_ == nullptr || job.iteration_ == 0 ||
+      job.iteration_ % options_.checkpoint_every != 0) {
+    return;
+  }
+  uint64_t bytes = job.table_.total_bytes();
+  for (const std::vector<double>& window : job.deferred_) {
+    bytes += window.size() * sizeof(double);
+  }
+  // Counters first, snapshot second: a restored job then reproduces the undisturbed
+  // run's later checkpoint counts exactly.
+  job.stats_.checkpoints_taken += 1;
+  job.stats_.checkpoint_bytes += bytes;
+  JobCheckpoint cp;
+  cp.iteration = job.iteration_;
+  cp.since_sync = job.since_sync_;
+  cp.table = job.table_;
+  cp.deferred = job.deferred_;
+  cp.deferred_pending = job.deferred_pending_;
+  cp.activity_trace = job.activity_trace_;
+  cp.stats = job.stats_;
+  cp.bytes = bytes;
+  checkpoints_->Save(job.id_, std::move(cp));
 }
 
 uint64_t JobManager::RefreshActivity(Job& job, bool all_partitions, bool swap_buffers,
@@ -460,7 +626,14 @@ bool JobManager::MarkProcessed(Job& job, PartitionId p) {
   job.processed_[p] = true;
   job.dirty_[p] = true;
   table_->Unregister(p, job.slot_);
-  CGRAPH_CHECK(job.remaining_ > 0);
+  if (job.remaining_ == 0) {
+    // Registration accounting broke for this job alone — a per-job invariant failure.
+    // Record it for the engine's FailJob routing instead of aborting every co-runner.
+    job.fail_status_ = Status::Internal(
+        "MarkProcessed: partition " + std::to_string(p) +
+        " retired with no remaining registrations for job " + std::to_string(job.id_));
+    return false;
+  }
   --job.remaining_;
   return job.remaining_ == 0;
 }
@@ -468,12 +641,19 @@ bool JobManager::MarkProcessed(Job& job, PartitionId p) {
 void JobManager::FinalizeJob(Job& job) {
   CGRAPH_CHECK(job.slot_ != Job::kInvalidSlot);
   job.finished_ = true;
-  if (policy_->needs_history()) {
+  const bool clean = !job.stats_.failed && !job.stats_.cancelled;
+  if (policy_->needs_history() && clean) {
     // Feed the completed lifetime back into the per-type profile before the freed slot
-    // admits anyone — the very next decision already sees this job's trace.
+    // admits anyone — the very next decision already sees this job's trace. Failed and
+    // cancelled jobs are excluded: their truncated traces would poison the profiles.
     history_->RecordCompletion(job.stats_.job_name, job.activity_trace_, job.stats_.iterations);
     job.activity_trace_.clear();
     job.activity_trace_.shrink_to_fit();
+  }
+  if (checkpoints_ != nullptr && clean) {
+    // A cleanly completed job needs no restart point; failed/cancelled jobs keep theirs
+    // for RestartFromCheckpoint.
+    checkpoints_->Drop(job.id_);
   }
   table_->UnregisterEverywhere(job.slot_);
   job.remaining_ = 0;

@@ -31,7 +31,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/admission_policy.h"
+#include "src/core/checkpoint_store.h"
 #include "src/core/engine_options.h"
 #include "src/core/footprint_history.h"
 #include "src/core/job.h"
@@ -113,10 +115,52 @@ class JobManager {
   // Marks partition p handled for the job's current iteration and retires its
   // registration.
   //
-  // Pre:  p is registered for the job this iteration (remaining() > 0).
+  // Pre:  p is registered for the job this iteration (remaining() > 0). A violation is a
+  //       *per-job* accounting failure: it sets the job's fail_status_ (the engine then
+  //       routes it through FailJob) and returns false rather than aborting the process.
   // Post: returns true when it was the last partition — the iteration boundary, after
   //       which the caller runs Push and RefreshActivity.
   bool MarkProcessed(Job& job, PartitionId p);
+
+  // --- Fault tolerance (docs/robustness.md) --------------------------------------
+
+  // Retires a running job through per-job failure isolation: terminal stats().failed
+  // with `status` recorded, slot freed through the normal FinalizeJob path (admission /
+  // footprint bookkeeping stays consistent, co-running jobs are untouched), and the
+  // freed slot immediately admits the next due waiter.
+  //
+  // Pre:  the job is running (holds a slot); `status` is non-ok.
+  void FailJob(Job& job, Status status);
+
+  // Cancels a running job mid-run: terminal stats().cancelled, slot freed via
+  // FinalizeJob, next due waiter admitted. The running-job counterpart of
+  // CancelWaiting.
+  //
+  // Pre: the job is running (holds a slot).
+  void CancelRunning(Job& job);
+
+  // Enforces EngineOptions::job_step_budget: cancels (via the CancelRunning path) every
+  // running job admitted at least `job_step_budget` steps ago. Returns the number
+  // cancelled; no-op returning 0 when the budget is off.
+  uint32_t CancelOverBudget(uint64_t step);
+
+  // Re-queues a terminally failed/cancelled job for re-admission from its latest
+  // checkpoint at `arrival_step` (clamped to now). On admission the job resumes from
+  // the checkpointed iteration instead of initializing fresh state.
+  //
+  // Errors: kFailedPrecondition when the job is not terminally failed/cancelled (or is
+  // already queued for restore); kNotFound when it has no checkpoint.
+  Status Reenqueue(JobId id, uint64_t arrival_step);
+
+  // The job's latest checkpoint, or nullptr (also nullptr whenever checkpointing is
+  // off).
+  const JobCheckpoint* FindCheckpoint(JobId id) const;
+
+  // Push-stage hook: snapshots the job at the current iteration boundary when
+  // checkpointing is on and the iteration index is a multiple of checkpoint_every.
+  // Increments stats().checkpoints_taken / checkpoint_bytes *before* snapshotting, so a
+  // restored job reproduces the undisturbed run's later checkpoint counts.
+  void MaybeCheckpoint(Job& job);
 
   // Completes the job.
   //
@@ -144,11 +188,18 @@ class JobManager {
  private:
   // Binds the job to `slot` and initializes its private table, activity, and first
   // registrations. Jobs with no initially active vertex finalize immediately (the caller's
-  // admit loop reuses the freed slot; no recursion).
+  // admit loop reuses the freed slot; no recursion). Restore-pending jobs take the
+  // RestoreJob path instead of fresh initialization.
   void InitJob(Job& job, uint32_t slot);
+  // Restore half of InitJob: rebuilds the job's runtime state from its latest checkpoint
+  // (vertex states, async windows, stats snapshot) and re-derives activity masks,
+  // counts, and registrations by re-sweeping the restored states — at an iteration
+  // boundary those are pure functions of the states, so the rebuild is exact.
+  void RestoreJob(Job& job);
   // Completion bookkeeping without follow-on admission: final stats, registration
   // teardown, slot release — and, under history-consuming policies, folding the job's
-  // activation trace into the footprint history.
+  // activation trace into the footprint history (skipped for failed/cancelled jobs,
+  // whose partial traces would poison the per-type profiles).
   void FinalizeJob(Job& job);
   // A free slot for `job`, or Job::kInvalidSlot when all are busy. With slot_pools == 1
   // (default): the job's own id when available (legacy bit-identity), else the smallest
@@ -192,6 +243,8 @@ class JobManager {
   // subsystem and its knobs go unvalidated there.
   std::unique_ptr<FootprintHistory> history_;
   std::unique_ptr<AdmissionPolicy> policy_;
+  // Allocated only when EngineOptions::checkpoint_every > 0; null = checkpointing off.
+  std::unique_ptr<CheckpointStore> checkpoints_;
   // AdmitDue's candidate/runner arenas and AllocateSlot's cohort mask, reused across
   // calls (no per-admission allocation).
   std::vector<AdmissionPolicy::Candidate> candidates_;

@@ -73,6 +73,9 @@ void LoadStage::LoadStructure(PartitionId p, const VersionGroup& group) {
   const GraphPartition& layout_part = layout_.partition(p);
   const ItemKey structure_key{DataKind::kStructure, kSharedOwner, p, group.version};
   for (Job* job : group.jobs) {
+    if (job->finished_) {
+      continue;  // Failed between group formation and the load: charge nothing.
+    }
     const uint32_t touched = ExpectedTouchedSegments(
         group.structure->structure_bytes(), options_.hierarchy.cache_segment_bytes,
         job->active_count_[p], layout_part.num_local_vertices());

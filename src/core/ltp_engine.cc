@@ -1,7 +1,9 @@
 #include "src/core/ltp_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <span>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
@@ -31,6 +33,7 @@ LtpEngine::LtpEngine(const EngineOptions& options, const PartitionedGraph* graph
                                       scheduler_.get(), hierarchy_.get(), manager_.get(),
                                       options_);
   trigger_ = std::make_unique<TriggerStage>(pool_.get(), hierarchy_.get(), options_);
+  injector_ = FaultInjector(options_.fault_specs, options_.fault_seed);
   eligible_.assign(base.num_partitions(), true);
 }
 
@@ -74,6 +77,20 @@ bool LtpEngine::Step() {
   for (;;) {
     // Admit runtime arrivals whose step has come (paper section 3.4).
     manager_->AdmitDue(step_);
+    // Execution budgets: a running job that exhausted --job-step-budget steps since its
+    // admission is cancelled before this step processes anything (no-op when off).
+    manager_->CancelOverBudget(step_);
+    if (injector_.armed()) {
+      // Simulated mid-run deadline expiry: cancel polls walk running jobs in ascending
+      // slot order, so which job an unpinned spec hits is deterministic.
+      for (uint32_t slot = 0; slot < options_.max_jobs; ++slot) {
+        Job* job = manager_->JobAtSlot(slot);
+        if (job != nullptr &&
+            injector_.Poll(FaultKind::kCancel, step_, job->id()) != nullptr) {
+          manager_->CancelRunning(*job);
+        }
+      }
+    }
     const PartitionId p = load_->PickNext(eligible_);
     if (p == kInvalidPartition) {
       if (!manager_->HasWaiting()) {
@@ -136,18 +153,96 @@ void LtpEngine::ProcessPartition(PartitionId p) {
   // this loop finishes.
   const std::span<const LoadStage::VersionGroup> groups = load_->FormGroups(p);
   for (const LoadStage::VersionGroup& group : groups) {
+    if (injector_.armed()) {
+      // Load-stage faults fire before the structure load; the failed job drops out of
+      // the group (every stage skips finished jobs) while its co-runners proceed.
+      for (Job* job : group.jobs) {
+        if (!job->finished_ &&
+            injector_.Poll(FaultKind::kLoadError, step_, job->id()) != nullptr) {
+          manager_->FailJob(*job, Status::Internal("injected load-stage fault at step " +
+                                                   std::to_string(step_)));
+        }
+      }
+    }
     load_->LoadStructure(p, group);
     // Trigger: process the pinned structure for every job in the group.
     trigger_->Run(p, *group.structure, group.jobs);
     load_->Release(p, group);
     // Push: per-job iteration bookkeeping; a job whose iteration completed pushes now.
     for (Job* job : group.jobs) {
+      if (job->finished_) {
+        continue;  // Failed or was cancelled earlier in this very step.
+      }
+      if (injector_.armed()) {
+        if (injector_.Poll(FaultKind::kTriggerError, step_, job->id()) != nullptr) {
+          manager_->FailJob(*job, Status::Internal("injected trigger-stage fault at step " +
+                                                   std::to_string(step_)));
+          continue;
+        }
+        if (injector_.Poll(FaultKind::kCorruptState, step_, job->id()) != nullptr) {
+          CorruptJobState(*job);
+          manager_->FailJob(*job, Status::Internal("injected state corruption at step " +
+                                                   std::to_string(step_)));
+          continue;
+        }
+      }
       push_->CollectMirrorRecords(*job, p);
       if (manager_->MarkProcessed(*job, p)) {
+        if (injector_.armed() &&
+            injector_.Poll(FaultKind::kPushError, step_, job->id()) != nullptr) {
+          manager_->FailJob(*job, Status::Internal("injected push-stage fault at step " +
+                                                   std::to_string(step_)));
+          continue;
+        }
         push_->Push(*job);
+      }
+      // Per-job failure isolation: a stage that hit a per-job invariant violation (or an
+      // injected error surfaced as one) recorded it on the job instead of aborting the
+      // process — retire just this job and keep driving its co-runners.
+      if (!job->finished_ && !job->fail_status_.ok()) {
+        manager_->FailJob(*job, job->fail_status_);
       }
     }
   }
+}
+
+void LtpEngine::CorruptJobState(Job& job) {
+  const PartitionedGraph& g = layout();
+  if (g.num_vertices() == 0) {
+    return;
+  }
+  // Deterministic target: the same (seed, job) always loses the same master vertex.
+  const VertexId victim =
+      static_cast<VertexId>(injector_.CorruptionPoint(job.id()) % g.num_vertices());
+  const ReplicaRef master = g.master_of(victim);
+  auto states = job.table().partition(master.partition);
+  states[master.local].value = std::numeric_limits<double>::quiet_NaN();
+  states[master.local].delta = std::numeric_limits<double>::quiet_NaN();
+}
+
+bool LtpEngine::Cancel(JobId id) {
+  CGRAPH_CHECK(id < manager_->num_jobs());
+  Job& job = manager_->job(id);
+  if (job.finished()) {
+    return false;  // Terminal already (completed, shed, cancelled, or failed).
+  }
+  if (!job.started()) {
+    return manager_->CancelWaiting(id);
+  }
+  manager_->CancelRunning(job);
+  return true;
+}
+
+Status LtpEngine::RestartFromCheckpoint(JobId id, uint64_t arrival_step) {
+  const Status status = manager_->Reenqueue(id, arrival_step);
+  if (status.ok()) {
+    manager_->AdmitDue(step_);  // Resumes now when due and a slot is free.
+  }
+  return status;
+}
+
+bool LtpEngine::HasCheckpoint(JobId id) const {
+  return id < manager_->num_jobs() && manager_->FindCheckpoint(id) != nullptr;
 }
 
 std::vector<double> LtpEngine::FinalValues(JobId id) const {
@@ -159,6 +254,30 @@ std::vector<double> LtpEngine::FinalValues(JobId id) const {
     values[v] = job.table().partition(master.partition)[master.local].value;
   }
   return values;
+}
+
+Result<std::vector<double>> LtpEngine::TryFinalValues(JobId id) const {
+  if (id >= manager_->num_jobs()) {
+    return Status::NotFound("TryFinalValues: no job " + std::to_string(id));
+  }
+  const Job& job = manager_->job(id);
+  const std::string label = "job " + std::to_string(id);
+  if (!job.finished()) {
+    return Status::FailedPrecondition("TryFinalValues: " + label + " has not finished");
+  }
+  const JobStats& stats = job.stats();
+  if (stats.shed) {
+    return Status::FailedPrecondition("TryFinalValues: " + label +
+                                      " was shed while waiting; it never computed");
+  }
+  if (stats.cancelled) {
+    return Status::FailedPrecondition("TryFinalValues: " + label + " was cancelled mid-run");
+  }
+  if (stats.failed) {
+    return Status::FailedPrecondition("TryFinalValues: " + label +
+                                      " failed: " + stats.fail_message);
+  }
+  return FinalValues(id);
 }
 
 std::vector<double> LtpEngine::FinalAux(JobId id) const {

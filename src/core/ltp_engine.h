@@ -34,6 +34,8 @@
 
 #include "src/cache/memory_hierarchy.h"
 #include "src/common/check.h"
+#include "src/common/fault_injection.h"
+#include "src/common/status.h"
 #include "src/core/engine_options.h"
 #include "src/core/job.h"
 #include "src/core/job_manager.h"
@@ -137,6 +139,34 @@ class LtpEngine {
   // unaffected by any value written here.
   JobStats& MutableStats(JobId id) { return manager_->job(id).stats(); }
 
+  // --- Fault tolerance (docs/robustness.md) --------------------------------------
+
+  // Cancels a job in any pre-terminal state: a waiting job is shed (stats().shed, as
+  // CancelWaiting), a running job is retired mid-run (terminal stats().cancelled, slot
+  // freed through the normal finalization path, co-running jobs untouched). Returns
+  // false iff the job already finished.
+  //
+  // Pre: `id` was returned by a Submit-family call on this engine.
+  bool Cancel(JobId id);
+
+  // Re-admits a terminally failed/cancelled job (or a checkpointed job that was shed
+  // while re-waiting for a slot) from its latest checkpoint, arriving at `arrival_step`
+  // (clamped to now; admitted immediately when due and a slot is free). The restored
+  // job resumes at the checkpointed iteration and converges to the same final values
+  // as an undisturbed run.
+  //
+  // Errors: kFailedPrecondition when the job is not terminally failed/cancelled/shed;
+  // kNotFound for an unknown id or a job without a checkpoint (checkpointing off, or
+  // the job failed before its first --checkpoint-every boundary).
+  Status RestartFromCheckpoint(JobId id, uint64_t arrival_step);
+
+  // True when `id` has a restart point (EngineOptions::checkpoint_every > 0 and the job
+  // passed at least one checkpoint boundary since its last clean completion).
+  bool HasCheckpoint(JobId id) const;
+
+  // Specs fired so far by the fault-injection harness (0 when unarmed).
+  size_t faults_fired() const { return injector_.fired(); }
+
   // --- Legacy batch API ------------------------------------------------------------
 
   // Registers a job. Must be called before Run(); admission beyond max_jobs is a
@@ -161,8 +191,17 @@ class LtpEngine {
   const EngineOptions& options() const { return options_; }
 
   // Readback once a job finished: value/aux of every global vertex, from master replicas.
+  // Pre: the job *completed* — readback from a shed/cancelled/failed job is invalid (a
+  // shed job holds no table at all). Use TryFinalValues when the terminal state is not
+  // known statically.
   std::vector<double> FinalValues(JobId id) const;
   std::vector<double> FinalAux(JobId id) const;
+
+  // Terminal-state-aware readback (docs/service.md): the converged values for completed
+  // jobs; kFailedPrecondition naming the terminal state (still pending / shed /
+  // cancelled / failed, with the failure message) otherwise; kNotFound for unknown ids.
+  // Never hangs and never touches a recycled slot.
+  Result<std::vector<double>> TryFinalValues(JobId id) const;
 
  private:
   // Shared constructor target: both public constructors delegate here and differ only in
@@ -174,8 +213,13 @@ class LtpEngine {
   // snapshot versions.
   const PartitionedGraph& layout() const;
 
-  // Load -> Trigger -> Push for one picked partition.
+  // Load -> Trigger -> Push for one picked partition. Fault-injection polls and the
+  // fail_status_ routing (per-job failure isolation) live here, between the stages.
   void ProcessPartition(PartitionId p);
+
+  // Scribbles NaN into one deterministically chosen vertex of the job's private table
+  // (the kCorruptState payload) so recovery tests can prove a restore discards damage.
+  void CorruptJobState(Job& job);
 
   const PartitionedGraph* graph_ = nullptr;
   const SnapshotStore* snapshots_ = nullptr;
@@ -190,6 +234,7 @@ class LtpEngine {
   std::unique_ptr<LoadStage> load_;
   std::unique_ptr<TriggerStage> trigger_;
 
+  FaultInjector injector_;      // Unarmed (one boolean per poll guard) without specs.
   std::vector<bool> eligible_;  // Per-partition scheduling eligibility (currently all).
   uint64_t step_ = 0;           // Partition-scheduling steps executed.
   double total_elapsed_ = 0.0;  // Wall seconds spent inside Step() so far.

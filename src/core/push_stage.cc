@@ -259,8 +259,15 @@ void PushStage::Push(Job& job) {
     }
     // kNewPhase: re-initialize every vertex state and re-derive activity. Charged as a
     // full private-table sweep. The monotonic() contract forbids phases under async —
-    // a re-init would invalidate the deferred window without any way to replay it.
-    CGRAPH_CHECK(!job.async_);
+    // a re-init would invalidate the deferred window without any way to replay it. A
+    // program breaking that contract is a per-job failure, not a process abort: record
+    // it and let the engine retire just this job.
+    if (job.async_) {
+      job.fail_status_ = Status::FailedPrecondition(
+          "Push: program '" + job.stats_.job_name +
+          "' requested a new phase while running async — monotonic() forbids phases");
+      return;
+    }
     for (PartitionId p = 0; p < g.num_partitions(); ++p) {
       const GraphPartition& part = g.partition(p);
       auto states = job.table_.partition(p);
@@ -274,7 +281,16 @@ void PushStage::Push(Job& job) {
     active_now = manager_->RefreshActivity(job, /*all_partitions=*/true,
                                            /*swap_buffers=*/false, /*initial=*/false);
   }
-  CGRAPH_CHECK(registered);
+  if (!registered) {
+    // The program spun through the phase guard without settling — isolate this job.
+    job.fail_status_ = Status::Internal(
+        "Push: program '" + job.stats_.job_name +
+        "' did not settle on a continuing or finished iteration within the phase guard");
+    return;
+  }
+  // The job continues from a consistent boundary: sync buckets empty, buffers swapped,
+  // next iteration's registrations in place — the state a checkpoint can resume from.
+  manager_->MaybeCheckpoint(job);
 }
 
 }  // namespace cgraph

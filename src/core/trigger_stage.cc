@@ -23,10 +23,12 @@ void TriggerStage::Run(PartitionId p, const GraphPartition& part,
   // Fully converged (job, partition) pairs have nothing to trigger: drop them before
   // batching so they occupy no batch slot and charge no private-table access. Activation
   // tracing only registers partitions that hold active vertices, so on a healthy engine
-  // this filter passes everyone through — it is the invariant, made local.
+  // this filter passes everyone through — it is the invariant, made local. Finished jobs
+  // are also dropped: a job can fail or be cancelled between group formation and the
+  // trigger (fault isolation, docs/robustness.md), leaving stale activity behind.
   batch_scratch_.clear();
   for (Job* job : group) {
-    if (job->active_count_[p] > 0) {
+    if (!job->finished_ && job->active_count_[p] > 0) {
       batch_scratch_.push_back(job);
     }
   }

@@ -63,6 +63,23 @@ struct JobStats {
   bool async_execution = false;
   uint64_t redrain_computes = 0;
   uint64_t deferred_pushes = 0;
+  // Robustness diagnostics (not part of the CSV schema; see docs/robustness.md).
+  // failed marks a job retired through per-job failure isolation (stage error or injected
+  // fault) — fail_message carries the Status that killed it; cancelled marks a mid-run
+  // cancellation (Cancel(JobId) or a --job-step-budget expiry). Both are terminal the
+  // same way shed is: the job holds no slot and FinalValues-readback is invalid for it.
+  // recoveries counts checkpoint restarts this job has been through (a restored job's
+  // other counters resume from the checkpoint snapshot, so a recovered run reports the
+  // same compute totals as an undisturbed one). checkpoints_taken / checkpoint_bytes
+  // account the snapshot work — checkpoints add no hierarchy charge (modeled CSVs stay
+  // byte-identical with checkpointing on), so their modeled cost is derived from
+  // checkpoint_bytes at the cost model's memory-byte rate instead.
+  bool failed = false;
+  bool cancelled = false;
+  uint32_t recoveries = 0;
+  std::string fail_message;
+  uint64_t checkpoints_taken = 0;
+  uint64_t checkpoint_bytes = 0;
 
   double ModeledComputeTime(const CostModel& model, uint32_t workers) const {
     return model.ComputeCost(compute_units) / std::max<uint32_t>(1, workers);

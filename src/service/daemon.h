@@ -57,6 +57,17 @@ struct ServiceOptions {
   uint64_t reservoir_seed = 42;
   // k for kcore/khop programs instantiated from trace requests.
   uint32_t k = 4;
+  // Retry-with-backoff for jobs that terminate abnormally (docs/robustness.md): a
+  // deadline-shed, failed, or mid-run-cancelled job is retried up to retry_limit times,
+  // re-arriving retry_backoff << attempt steps after the abort (deterministic exponential
+  // backoff in scheduling steps). A job with a checkpoint resumes from it
+  // (RestartFromCheckpoint, same JobId); one without is resubmitted fresh from its
+  // representative request. Door sheds stay final immediate rejections — backpressure
+  // means the service is telling callers to go away *now*. 0 = no retries.
+  uint32_t retry_limit = 0;
+  // Base backoff in scheduling steps (doubled per attempt). Must be > 0 when
+  // retry_limit > 0.
+  uint64_t retry_backoff = 8;
 };
 
 // Per-request outcome, in trace order — the multiplexed "response" of the daemon.
@@ -65,8 +76,9 @@ struct ServiceOptions {
 struct RequestOutcome {
   JobId job = kInvalidJob;  // kInvalidJob for door-shed requests (no job existed).
   uint64_t arrival_step = 0;
-  uint64_t finish_step = 0;  // Completion or shed step; 0 for door sheds.
-  bool shed = false;         // Door shed or deadline shed — no result delivered.
+  uint64_t finish_step = 0;  // Completion, shed, or failure step; 0 for door sheds.
+  bool shed = false;         // Door shed or terminal deadline shed — no result delivered.
+  bool failed = false;       // Job terminally failed/cancelled mid-run, retries exhausted.
   bool coalesced = false;    // Attached to a pre-existing in-flight job.
 };
 
@@ -75,13 +87,21 @@ struct ServiceReport {
   uint64_t completed_requests = 0;  // Requests that received converged results.
   uint64_t shed_requests = 0;       // Door sheds + deadline sheds.
   uint64_t coalesced_requests = 0;  // Requests served by attaching to another job.
-  uint64_t submitted_jobs = 0;      // Engine jobs created (trace minus attaches/door sheds).
+  uint64_t failed_requests = 0;     // Callers whose job failed/was cancelled, retries spent.
+  uint64_t submitted_jobs = 0;      // Engine jobs created (incl. retry resubmissions).
   uint64_t executed_jobs = 0;       // Submitted jobs that ran to completion.
-  uint64_t shed_jobs = 0;           // Submitted jobs cancelled while waiting (deadline).
+  // shed_jobs keeps its PR 6 meaning — jobs cancelled while *waiting* (queue-wait
+  // deadline sheds, terminal only) — so dedup/shed ratios stay comparable across bench
+  // records. Mid-run aborts are split out below and all sit at 0 in default configs.
+  uint64_t shed_jobs = 0;           // Terminal queue-wait deadline sheds.
+  uint64_t cancelled_jobs = 0;      // Mid-run cancellations observed (incl. later-retried).
+  uint64_t failed_jobs = 0;         // Per-job failures observed (incl. later-retried).
+  uint64_t retried_jobs = 0;        // Retry resubmissions (fresh job, no checkpoint).
+  uint64_t recovered_jobs = 0;      // Checkpoint restarts (same job resumes mid-flight).
   // coalesced_requests / total_requests — the fan-in savings.
   double dedup_ratio = 0.0;
   // Queue-wait + execution latency percentiles, in scheduling steps (nearest-rank;
-  // deterministic across runs and worker counts). Shed requests are excluded.
+  // deterministic across runs and worker counts). Shed and failed requests are excluded.
   double p50_latency_steps = 0.0;
   double p95_latency_steps = 0.0;
   double p99_latency_steps = 0.0;
@@ -112,16 +132,27 @@ class ServiceDriver {
     std::string key;
     uint64_t deadline_step = 0;          // 0 = none.
     std::vector<size_t> request_indices;  // Into the trace / outcomes array.
+    uint32_t attempts = 0;                // Retries consumed so far.
+    size_t rep_index = 0;                 // Representative request (retry resubmission).
   };
 
   // Routes one due request: coalesce-attach, door-shed, or submit. `index` is its trace
   // position.
   void AdmitRequest(const std::vector<ServiceRequest>& trace, size_t index,
                     ServiceReport* report);
-  // Sheds pending jobs still waiting past their deadline at `now`.
-  void ShedExpired(uint64_t now, ServiceReport* report);
-  // Moves finished pending jobs into outcomes / the latency reservoir.
+  // Sheds pending jobs still waiting past their deadline at `now` (or retries them,
+  // when retries remain).
+  void ShedExpired(const std::vector<ServiceRequest>& trace, uint64_t now,
+                   ServiceReport* report);
+  // Moves finished pending jobs into outcomes / the latency reservoir; routes mid-run
+  // failures/cancellations through the retry policy first.
   void ReapFinished(const std::vector<ServiceRequest>& trace, ServiceReport* report);
+  // Schedules `p`'s next attempt at `abort_step` + the exponential backoff: checkpoint
+  // restart when one exists, fresh resubmission of the representative request
+  // otherwise. Updates the coalesce table, deadline, and outcome job ids. Pre: a retry
+  // attempt remains.
+  void Retry(const std::vector<ServiceRequest>& trace, PendingJob& p, uint64_t abort_step,
+             ServiceReport* report);
 
   LtpEngine* engine_;
   ServiceOptions options_;

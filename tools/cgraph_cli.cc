@@ -16,6 +16,9 @@
 //              [--trace-seed=N] [--trace-gap=N] [--trace-burst=N] [--trace-sources=N]
 //              [--trace-file=PATH] [--trace-out=PATH] [--queue-bound=N]
 //              [--deadline-steps=N] [--no-coalesce]
+//              [--inject-fault=KIND@STEP[:JOB],...] [--fault-seed=N]
+//              [--checkpoint-every=N] [--job-step-budget=N]
+//              [--retry-limit=N] [--retry-backoff=N] [--values-out=PATH]
 //
 // Job names: pagerank, sssp, scc, bfs, wcc, kcore, ppr, khop.
 // Default: --rmat=12,8 --jobs=pagerank,sssp,scc,bfs --system=cgraph.
@@ -30,10 +33,14 @@
 // replays an arrival trace of --trace-jobs requests over the --jobs program mix and
 // drives it through the ServiceDriver with query fan-in, a bounded queue, and optional
 // queue-wait deadlines; see docs/service.md.
+// --inject-fault arms the deterministic fault-injection harness, --checkpoint-every
+// enables iteration-boundary checkpoints, and --retry-limit turns on the daemon's
+// retry-with-backoff policy; see docs/robustness.md.
 //
 // Prints a per-job report table (cgraph systems add parseable "admission:" and
-// "execution:" summary lines; --serve adds a parseable "service:" line); --csv
-// additionally writes machine-readable rows.
+// "execution:" summary lines; --serve adds a parseable "service:" line; fault
+// injection / checkpointing add a parseable "robustness:" line); --csv additionally
+// writes machine-readable rows.
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +50,7 @@
 
 #include "src/algorithms/factory.h"
 #include "src/baselines/baseline_executor.h"
+#include "src/common/fault_injection.h"
 #include "src/common/strings.h"
 #include "src/core/admission_policy.h"
 #include "src/core/ltp_engine.h"
@@ -106,6 +114,15 @@ struct CliOptions {
   uint64_t queue_bound = 64;     // 0 = unbounded.
   uint64_t deadline_steps = 0;   // 0 = no deadlines.
   bool coalesce = true;
+  // Robustness knobs (docs/robustness.md).
+  std::vector<FaultSpec> fault_specs;  // --inject-fault, cgraph systems only.
+  uint64_t fault_seed = 42;
+  uint64_t checkpoint_every = 0;   // 0 = checkpointing off.
+  uint64_t job_step_budget = 0;    // 0 = no execution budgets.
+  uint64_t retry_limit = 0;        // --serve only; 0 = no retries.
+  uint64_t retry_backoff = 8;      // --serve only; doubled per attempt.
+  bool retry_backoff_set = false;  // For the "--retry-backoff without --serve" check.
+  std::string values_out;          // Final converged values of completed jobs.
 };
 
 constexpr const char* kKnownSystems[] = {"cgraph", "cgraph-without", "sequential",
@@ -354,6 +371,48 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--no-coalesce") {
       options->coalesce = false;
+    } else if (match("--inject-fault=")) {
+      for (const auto piece : SplitNonEmpty(value, ",")) {
+        FaultSpec spec;
+        if (!ParseFaultSpec(piece, &spec)) {
+          std::fprintf(stderr,
+                       "error: --inject-fault expects KIND@STEP[:JOB] with KIND one of "
+                       "load, trigger, push, corrupt, cancel\n");
+          return false;
+        }
+        options->fault_specs.push_back(spec);
+      }
+    } else if (match("--fault-seed=")) {
+      if (!ParseUint64(value, &options->fault_seed)) {
+        std::fprintf(stderr, "error: --fault-seed expects an integer\n");
+        return false;
+      }
+    } else if (match("--checkpoint-every=")) {
+      if (!ParseUint64(value, &options->checkpoint_every)) {
+        std::fprintf(stderr,
+                     "error: --checkpoint-every expects an iteration count (0 = off)\n");
+        return false;
+      }
+    } else if (match("--job-step-budget=")) {
+      if (!ParseUint64(value, &options->job_step_budget)) {
+        std::fprintf(stderr,
+                     "error: --job-step-budget expects a step count (0 = no budgets)\n");
+        return false;
+      }
+    } else if (match("--retry-limit=")) {
+      if (!ParseUint64(value, &options->retry_limit) || options->retry_limit > 0xFFFFu) {
+        std::fprintf(stderr,
+                     "error: --retry-limit expects a count in [0, 65535] (0 = off)\n");
+        return false;
+      }
+    } else if (match("--retry-backoff=")) {
+      if (!ParseUint64(value, &options->retry_backoff) || options->retry_backoff == 0) {
+        std::fprintf(stderr, "error: --retry-backoff expects a positive step count\n");
+        return false;
+      }
+      options->retry_backoff_set = true;
+    } else if (match("--values-out=")) {
+      options->values_out = value;
     } else if (match("--csv=")) {
       options->csv_path = value;
     } else {
@@ -394,6 +453,63 @@ void PrintExecutionLine(const RunReport& report, const EngineOptions& engine_opt
       ExecutionModeName(engine_options.execution_mode), engine_options.staleness,
       async_jobs, static_cast<unsigned long long>(redrain),
       static_cast<unsigned long long>(deferred));
+}
+
+// Parseable robustness summary (consumed by tools/run_bench.sh; see
+// docs/robustness.md). Checkpoints add no hierarchy charge, so their modeled overhead
+// is derived analytically: checkpoint_bytes at the cost model's memory-byte rate over
+// the run's bandwidth channels, as a fraction of the run's modeled makespan.
+void PrintRobustnessLine(size_t faults_fired, const RunReport& report,
+                         const CostModel& cost) {
+  size_t failed = 0;
+  size_t cancelled = 0;
+  uint64_t recoveries = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_bytes = 0;
+  for (const auto& job : report.jobs) {
+    failed += job.failed ? 1 : 0;
+    cancelled += job.cancelled ? 1 : 0;
+    recoveries += job.recoveries;
+    checkpoints += job.checkpoints_taken;
+    checkpoint_bytes += job.checkpoint_bytes;
+  }
+  AccessCharge snapshot_charge;
+  snapshot_charge.mem_bytes = checkpoint_bytes;
+  const uint32_t channels =
+      std::max<uint32_t>(1, std::min(report.workers, cost.bandwidth_channels));
+  const double overhead = cost.AccessCost(snapshot_charge) / channels;
+  const double makespan = report.ModeledMakespan(cost);
+  std::printf(
+      "robustness: injected=%zu failed=%zu cancelled=%zu recoveries=%llu "
+      "unrecovered=%zu checkpoints=%llu checkpoint_bytes=%llu "
+      "checkpoint_overhead_ratio=%.6f\n",
+      faults_fired, failed, cancelled,
+      static_cast<unsigned long long>(recoveries), failed + cancelled,
+      static_cast<unsigned long long>(checkpoints),
+      static_cast<unsigned long long>(checkpoint_bytes),
+      makespan > 0.0 ? overhead / makespan : 0.0);
+}
+
+// One line per (completed job, vertex): "job,vertex,value" with full double precision —
+// the byte-comparable artifact the recovery-equivalence SMOKE gate diffs against a
+// fault-free run. Jobs without valid readback (shed/cancelled/failed) are skipped.
+bool WriteFinalValues(const LtpEngine& engine, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  for (JobId id = 0; id < engine.num_jobs(); ++id) {
+    const Result<std::vector<double>> values = engine.TryFinalValues(id);
+    if (!values.ok()) {
+      continue;
+    }
+    const std::vector<double>& v = values.value();
+    for (size_t i = 0; i < v.size(); ++i) {
+      std::fprintf(f, "%u,%zu,%.17g\n", id, i, v[i]);
+    }
+  }
+  std::fclose(f);
+  return true;
 }
 
 void PrintUsage() {
@@ -469,7 +585,28 @@ void PrintUsage() {
       "                        (default 64; 0 = unbounded)\n"
       "  --deadline-steps=N    shed jobs still waiting N steps past arrival\n"
       "                        (default 0 = no deadlines)\n"
-      "  --no-coalesce         disable query fan-in (every request runs its own job)\n");
+      "  --no-coalesce         disable query fan-in (every request runs its own job)\n"
+      "\nrobustness (docs/robustness.md; cgraph systems only):\n"
+      "  --inject-fault=SPECS  deterministic fault injection: KIND@STEP[:JOB],... with\n"
+      "                        KIND one of load, trigger, push (per-job stage errors),\n"
+      "                        corrupt (NaN-scribble state then fail the job), cancel\n"
+      "                        (simulated mid-run deadline expiry); each spec fires\n"
+      "                        once, at the first matching poll at or after STEP\n"
+      "  --fault-seed=N        corruption-target PRNG seed (default 42)\n"
+      "  --checkpoint-every=N  snapshot each job's state every N completed iterations\n"
+      "                        (default 0 = off); failed/cancelled jobs restart from\n"
+      "                        their last checkpoint (batch mode recovers in-process;\n"
+      "                        --serve recovers through the retry policy)\n"
+      "  --job-step-budget=N   cancel a running job N scheduling steps after its\n"
+      "                        admission (default 0 = no budgets; complements\n"
+      "                        --deadline-steps, which bounds queue wait only)\n"
+      "  --retry-limit=N       --serve only: retry failed/cancelled/deadline-shed jobs\n"
+      "                        up to N times (default 0 = off); checkpointed jobs\n"
+      "                        resume, others resubmit fresh\n"
+      "  --retry-backoff=N     --serve only: base retry spacing in scheduling steps,\n"
+      "                        doubled per attempt (default 8)\n"
+      "  --values-out=PATH     write 'job,vertex,value' lines for every completed job\n"
+      "                        (the recovery-equivalence comparison artifact)\n");
 }
 
 }  // namespace
@@ -511,6 +648,22 @@ int main(int argc, char** argv) {
   }
   if (options.serve && !options.arrivals.empty()) {
     std::fprintf(stderr, "error: --serve and --arrivals are mutually exclusive\n");
+    return 2;
+  }
+  if (!is_cgraph_system &&
+      (!options.fault_specs.empty() || options.checkpoint_every > 0 ||
+       options.job_step_budget > 0 || !options.values_out.empty())) {
+    std::fprintf(stderr,
+                 "error: --inject-fault/--checkpoint-every/--job-step-budget/"
+                 "--values-out require --system=cgraph|cgraph-without (the baselines "
+                 "have no fault-tolerance path)\n");
+    return 2;
+  }
+  if (!options.serve && (options.retry_limit > 0 || options.retry_backoff_set)) {
+    std::fprintf(stderr,
+                 "error: --retry-limit/--retry-backoff require --serve (retries are a "
+                 "service-daemon policy; batch runs recover explicitly via "
+                 "--checkpoint-every)\n");
     return 2;
   }
   if (options.execution == ExecutionMode::kAsync) {
@@ -609,6 +762,10 @@ int main(int argc, char** argv) {
     engine_options.parallel_trigger_threshold =
         static_cast<uint32_t>(options.trigger_threshold);
   }
+  engine_options.fault_specs = options.fault_specs;
+  engine_options.fault_seed = options.fault_seed;
+  engine_options.checkpoint_every = options.checkpoint_every;
+  engine_options.job_step_budget = options.job_step_budget;
   const CostModel cost;
 
   if (options.serve) {
@@ -643,6 +800,8 @@ int main(int argc, char** argv) {
     sopts.queue_bound = static_cast<size_t>(options.queue_bound);
     sopts.deadline_steps = options.deadline_steps;
     sopts.coalesce = options.coalesce;
+    sopts.retry_limit = static_cast<uint32_t>(options.retry_limit);
+    sopts.retry_backoff = options.retry_backoff;
     ServiceDriver driver(&engine, sopts);
     const ServiceReport sreport = driver.Run(trace);
 
@@ -653,15 +812,25 @@ int main(int argc, char** argv) {
                 options.workers,
                 options.trace_file.empty() ? ArrivalPatternName(options.trace_pattern)
                                            : options.trace_file.c_str());
-    std::printf("requests     %llu (%llu completed, %llu shed, %llu coalesced)\n",
+    std::printf("requests     %llu (%llu completed, %llu shed, %llu coalesced, "
+                "%llu failed)\n",
                 static_cast<unsigned long long>(sreport.total_requests),
                 static_cast<unsigned long long>(sreport.completed_requests),
                 static_cast<unsigned long long>(sreport.shed_requests),
-                static_cast<unsigned long long>(sreport.coalesced_requests));
+                static_cast<unsigned long long>(sreport.coalesced_requests),
+                static_cast<unsigned long long>(sreport.failed_requests));
     std::printf("jobs         %llu submitted, %llu executed, %llu shed while queued\n",
                 static_cast<unsigned long long>(sreport.submitted_jobs),
                 static_cast<unsigned long long>(sreport.executed_jobs),
                 static_cast<unsigned long long>(sreport.shed_jobs));
+    if (options.retry_limit > 0 || sreport.failed_jobs > 0 || sreport.cancelled_jobs > 0) {
+      std::printf("retries      %llu failed, %llu cancelled mid-run; %llu resubmitted, "
+                  "%llu resumed from checkpoints\n",
+                  static_cast<unsigned long long>(sreport.failed_jobs),
+                  static_cast<unsigned long long>(sreport.cancelled_jobs),
+                  static_cast<unsigned long long>(sreport.retried_jobs),
+                  static_cast<unsigned long long>(sreport.recovered_jobs));
+    }
     std::printf("latency      p50 %.0f, p95 %.0f, p99 %.0f, mean %.1f, max %.0f steps\n",
                 sreport.p50_latency_steps, sreport.p95_latency_steps,
                 sreport.p99_latency_steps, sreport.mean_latency_steps,
@@ -674,25 +843,40 @@ int main(int argc, char** argv) {
     // sustained_jobs_per_second are the hardware-dependent outputs.
     std::printf(
         "service: pattern=%s requests=%llu completed=%llu shed=%llu coalesced=%llu "
-        "submitted_jobs=%llu executed_jobs=%llu shed_jobs=%llu dedup_ratio=%.4f "
-        "p50=%.1f p95=%.1f p99=%.1f mean=%.2f max=%.1f final_step=%llu "
+        "failed=%llu submitted_jobs=%llu executed_jobs=%llu shed_jobs=%llu "
+        "cancelled_jobs=%llu failed_jobs=%llu retried=%llu recovered=%llu "
+        "dedup_ratio=%.4f p50=%.1f p95=%.1f p99=%.1f mean=%.2f max=%.1f final_step=%llu "
         "wall_seconds=%.4f sustained_jobs_per_second=%.4f\n",
         options.trace_file.empty() ? ArrivalPatternName(options.trace_pattern) : "file",
         static_cast<unsigned long long>(sreport.total_requests),
         static_cast<unsigned long long>(sreport.completed_requests),
         static_cast<unsigned long long>(sreport.shed_requests),
         static_cast<unsigned long long>(sreport.coalesced_requests),
+        static_cast<unsigned long long>(sreport.failed_requests),
         static_cast<unsigned long long>(sreport.submitted_jobs),
         static_cast<unsigned long long>(sreport.executed_jobs),
-        static_cast<unsigned long long>(sreport.shed_jobs), sreport.dedup_ratio,
+        static_cast<unsigned long long>(sreport.shed_jobs),
+        static_cast<unsigned long long>(sreport.cancelled_jobs),
+        static_cast<unsigned long long>(sreport.failed_jobs),
+        static_cast<unsigned long long>(sreport.retried_jobs),
+        static_cast<unsigned long long>(sreport.recovered_jobs), sreport.dedup_ratio,
         sreport.p50_latency_steps, sreport.p95_latency_steps, sreport.p99_latency_steps,
         sreport.mean_latency_steps, sreport.max_latency_steps,
         static_cast<unsigned long long>(sreport.final_step), sreport.wall_seconds,
         sreport.sustained_jobs_per_second);
-    PrintExecutionLine(engine.Report(), engine_options);
+    const RunReport engine_report = engine.Report();
+    PrintExecutionLine(engine_report, engine_options);
+    if (!engine_options.fault_specs.empty() || engine_options.checkpoint_every > 0) {
+      PrintRobustnessLine(engine.faults_fired(), engine_report, cost);
+    }
+    if (!options.values_out.empty() && !WriteFinalValues(engine, options.values_out)) {
+      std::fprintf(stderr, "error: cannot write values to '%s'\n",
+                   options.values_out.c_str());
+      return 1;
+    }
 
     if (!options.csv_path.empty()) {
-      const Status status = WriteRunReportCsv(engine.Report(), cost, options.csv_path);
+      const Status status = WriteRunReportCsv(engine_report, cost, options.csv_path);
       if (!status.ok()) {
         std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
         return 1;
@@ -703,6 +887,7 @@ int main(int argc, char** argv) {
   }
 
   RunReport report;
+  size_t faults_fired = 0;
   if (is_cgraph_system) {
     engine_options.use_scheduler = options.system == "cgraph";
     LtpEngine engine(&graph, engine_options);
@@ -717,7 +902,33 @@ int main(int argc, char** argv) {
       engine.SubmitAt(MakeProgram(arrival.job, source), arrival.step);
     }
     engine.RunUntilIdle();
+    if (engine_options.checkpoint_every > 0) {
+      // Batch-mode recovery: restart every faulted job that left a checkpoint and drive
+      // the engine idle again, until nothing recoverable remains. Each fault spec fires
+      // once, so a restarted job does not re-trip the fault that killed it; the round
+      // guard only bounds pathological spec lists that keep killing restarted jobs.
+      for (int round = 0; round < 16; ++round) {
+        bool restarted = false;
+        for (JobId id = 0; id < static_cast<JobId>(engine.num_jobs()); ++id) {
+          const JobStats& stats = engine.job(id).stats();
+          if ((stats.failed || stats.cancelled) && engine.HasCheckpoint(id) &&
+              engine.RestartFromCheckpoint(id, engine.current_step()).ok()) {
+            restarted = true;
+          }
+        }
+        if (!restarted) {
+          break;
+        }
+        engine.RunUntilIdle();
+      }
+    }
     report = engine.Report();
+    faults_fired = engine.faults_fired();
+    if (!options.values_out.empty() && !WriteFinalValues(engine, options.values_out)) {
+      std::fprintf(stderr, "error: cannot write values to '%s'\n",
+                   options.values_out.c_str());
+      return 1;
+    }
   } else {
     BaselineOptions bopts;
     bopts.engine = engine_options;
@@ -802,6 +1013,9 @@ int main(int argc, char** argv) {
         scored == 0 ? 0.0 : scored_overlap / static_cast<double>(scored), predicted,
         predicted == 0 ? 0.0 : predicted_overlap / static_cast<double>(predicted));
     PrintExecutionLine(report, engine_options);
+    if (!engine_options.fault_specs.empty() || engine_options.checkpoint_every > 0) {
+      PrintRobustnessLine(faults_fired, report, cost);
+    }
   }
 
   if (!options.csv_path.empty()) {

@@ -31,6 +31,13 @@
 # deferred-push diagnostics, and an async service-daemon replay of a monotonic request
 # mix.
 #
+# A "robustness" section (docs/robustness.md) records the fault-injection recovery
+# story on the service graph: a mid-run injected trigger-stage fault recovered from an
+# iteration-boundary checkpoint, with byte-identity of the recovered run's compute
+# columns and converged values vs a fault-free run recorded as booleans, plus the
+# injected/recovered counters and the modeled checkpoint overhead ratio at the
+# documented K=8 cadence. All fields are modeled — exact and machine-independent.
+#
 # Usage: tools/run_bench.sh [BUILD_DIR] (default: build/release-all, configured on demand)
 # Env:   OUT=path/to/record.json   override the output path (default: BENCH_ltp.json)
 #        SMOKE=1                   skip the full sweep; run the deterministic CI gates:
@@ -44,7 +51,11 @@
 #                                  must report dedup_ratio > 0 and account for every
 #                                  request; (4) execution mode — async must spend fewer
 #                                  modeled compute units than bsp on the monotonic mix
-#                                  (exact)
+#                                  (exact); (5) fault recovery — tools/fault_smoke.sh:
+#                                  an injected per-job fault must recover from its
+#                                  checkpoint with results byte-identical to a clean
+#                                  run, and K=8 checkpointing must cost <= 5% of
+#                                  modeled time
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -236,21 +247,24 @@ if [ "${SMOKE:-0}" = "1" ]; then
   echo "OK: workers=4 keeps pace with workers=1 (${SCALE_W1}s -> ${SCALE_W4}s)"
 
   # Service fan-in gate: the repeated-query daemon trace must coalesce something, and
-  # every request must be accounted for (completed + shed == total). Both are modeled
-  # quantities — exact and machine-independent.
+  # every request must be accounted for (completed + shed + failed == total; failed is
+  # 0 here — no faults are injected — but the identity is the daemon's real accounting
+  # invariant, docs/robustness.md). All modeled quantities — exact and
+  # machine-independent.
   SVC_LINE=$(run_service_median 1)
   SVC_TOTAL=$(svc_field "$SVC_LINE" requests)
   SVC_DONE=$(svc_field "$SVC_LINE" completed)
   SVC_SHED=$(svc_field "$SVC_LINE" shed)
+  SVC_FAILED=$(svc_field "$SVC_LINE" failed)
   SVC_DEDUP=$(svc_field "$SVC_LINE" dedup_ratio)
   echo "service smoke (workers=1): requests=$SVC_TOTAL completed=$SVC_DONE" \
-       "shed=$SVC_SHED dedup_ratio=$SVC_DEDUP"
+       "shed=$SVC_SHED failed=$SVC_FAILED dedup_ratio=$SVC_DEDUP"
   awk -v d="$SVC_DEDUP" 'BEGIN { exit (d > 0) ? 0 : 1 }' || {
     echo "FAIL: service daemon coalesced nothing on a repeated-query trace (dedup_ratio=$SVC_DEDUP)" >&2
     exit 1
   }
-  if [ "$((SVC_DONE + SVC_SHED))" != "$SVC_TOTAL" ]; then
-    echo "FAIL: service requests unaccounted for (completed=$SVC_DONE + shed=$SVC_SHED != $SVC_TOTAL)" >&2
+  if [ "$((SVC_DONE + SVC_SHED + SVC_FAILED))" != "$SVC_TOTAL" ]; then
+    echo "FAIL: service requests unaccounted for (completed=$SVC_DONE + shed=$SVC_SHED + failed=$SVC_FAILED != $SVC_TOTAL)" >&2
     exit 1
   fi
   echo "OK: service daemon coalesces (dedup_ratio=$SVC_DEDUP) and accounts for every request"
@@ -267,6 +281,11 @@ if [ "${SMOKE:-0}" = "1" ]; then
     exit 1
   fi
   echo "OK: async reduces compute units ($BSP_CU -> $AS_CU)"
+
+  # Fault-recovery gate: injected per-job fault must recover from its checkpoint with
+  # byte-identical results, and K=8 checkpointing must stay within 5% of modeled time
+  # (tools/fault_smoke.sh, docs/robustness.md).
+  tools/fault_smoke.sh "$BUILD_DIR"
   exit 0
 fi
 
@@ -334,13 +353,57 @@ SVC_LINE=$(run_service_median 4)
   printf '  },\n'
 } > "$SERVICE"
 
+# Robustness record: the fault_smoke.sh scenario (docs/robustness.md) with its
+# counters and equivalence checks captured as data. A trigger-stage fault injected
+# mid-flight into the wcc job recovers from its --checkpoint-every=2 checkpoint; the
+# equivalence booleans compare the recovered run against a fault-free run on the
+# schedule-invariant compute columns (CSV fields 1-7) and the converged values (the
+# mix is min-accumulator only, so equality is exact). The overhead ratio is from a
+# separate clean run at the documented K=8 cadence. Everything here is modeled.
+ROBUSTNESS=$(mktemp)
+ROB_DIR=$(mktemp -d)
+trap 'rm -f "$CSV" "$WALLS" "$ADMISSION" "$ADM_POINT" "$ADM_CSV" "$SERVICE" "$ROBUSTNESS"; rm -rf "$ROB_DIR"' EXIT
+ROB_JOBS="sssp,wcc,bfs"
+ROB_FAULT="trigger@60:1"
+ROB_CHECKPOINT_EVERY=2
+"$BUILD_DIR/tools/cgraph_cli" --rmat="$SVC_RMAT" --jobs="$ROB_JOBS" \
+  --partitions="$SVC_PARTITIONS" --csv="$ROB_DIR/clean.csv" \
+  --values-out="$ROB_DIR/clean.values" >/dev/null
+ROB_LINE=$("$BUILD_DIR/tools/cgraph_cli" --rmat="$SVC_RMAT" --jobs="$ROB_JOBS" \
+  --partitions="$SVC_PARTITIONS" --checkpoint-every="$ROB_CHECKPOINT_EVERY" \
+  --inject-fault="$ROB_FAULT" --csv="$ROB_DIR/fault.csv" \
+  --values-out="$ROB_DIR/fault.values" | grep '^robustness:')
+COLUMNS_MATCH=false
+diff <(cut -d, -f1-7 "$ROB_DIR/clean.csv") <(cut -d, -f1-7 "$ROB_DIR/fault.csv") \
+  >/dev/null && COLUMNS_MATCH=true
+VALUES_MATCH=false
+diff "$ROB_DIR/clean.values" "$ROB_DIR/fault.values" >/dev/null && VALUES_MATCH=true
+ROB_OVERHEAD=$("$BUILD_DIR/tools/cgraph_cli" --rmat="$SVC_RMAT" --jobs="$ROB_JOBS" \
+  --partitions="$SVC_PARTITIONS" --checkpoint-every=8 |
+  sed -n 's/.*checkpoint_overhead_ratio=\([0-9.]*\).*/\1/p')
+{
+  printf '  "robustness": {\n'
+  printf '    "config": {"rmat": "%s", "jobs": "%s", "partitions": %d, ' \
+         "$SVC_RMAT" "$ROB_JOBS" "$SVC_PARTITIONS"
+  printf '"fault": "%s", "checkpoint_every": %d},\n' "$ROB_FAULT" "$ROB_CHECKPOINT_EVERY"
+  printf '    "injected_faults": %s,\n' "$(svc_field "$ROB_LINE" injected)"
+  printf '    "recoveries": %s,\n' "$(svc_field "$ROB_LINE" recoveries)"
+  printf '    "unrecovered": %s,\n' "$(svc_field "$ROB_LINE" unrecovered)"
+  printf '    "checkpoints": %s,\n' "$(svc_field "$ROB_LINE" checkpoints)"
+  printf '    "checkpoint_bytes": %s,\n' "$(svc_field "$ROB_LINE" checkpoint_bytes)"
+  printf '    "recovered_compute_columns_identical": %s,\n' "$COLUMNS_MATCH"
+  printf '    "recovered_values_identical": %s,\n' "$VALUES_MATCH"
+  printf '    "checkpoint_overhead_ratio_k8": %s\n' "$ROB_OVERHEAD"
+  printf '  },\n'
+} > "$ROBUSTNESS"
+
 # Execution-mode comparison: bsp vs async on the monotonic mix (headline graph,
 # workers=4). Compute units and push updates are modeled (run-invariant, taken from the
 # last run); walls are median-of-3. The async diagnostics come from the CLI's
 # parseable "execution:" line, and the async service replay reuses the daemon workload
 # with an all-monotonic request mix.
 EXECUTION=$(mktemp)
-trap 'rm -f "$CSV" "$WALLS" "$ADMISSION" "$ADM_POINT" "$ADM_CSV" "$SERVICE" "$EXECUTION"' EXIT
+trap 'rm -f "$CSV" "$WALLS" "$ADMISSION" "$ADM_POINT" "$ADM_CSV" "$SERVICE" "$ROBUSTNESS" "$EXECUTION"; rm -rf "$ROB_DIR"' EXIT
 EXEC_POINT=$(mktemp)
 : > "$EXEC_POINT"
 for _ in $(seq "$RUNS_PER_POINT"); do
@@ -440,7 +503,7 @@ awk -F, -v rmat="$RMAT" -v jobs="$JOBS" -v arrivals="$ARRIVALS" \
     printf "  \"total_compute_units\": %s,\n", compute_units
     printf "  \"bytes_below_cache\": %s,\n", below_cache
   }' "$CSV" > "$OUT"
-cat "$ADMISSION" "$SERVICE" "$EXECUTION" >> "$OUT"
+cat "$ADMISSION" "$SERVICE" "$ROBUSTNESS" "$EXECUTION" >> "$OUT"
 echo "}" >> "$OUT"
 
 echo "wrote $OUT"
