@@ -181,6 +181,7 @@ RunReport BaselineExecutor::Run() {
   }
   report.cache = hierarchy_->cache().stats();
   report.memory = hierarchy_->memory().stats();
+  report.partition = layout().quality();
   return report;
 }
 

@@ -10,6 +10,7 @@
 #include "src/cache/memory_hierarchy.h"
 #include "src/common/fault_injection.h"
 #include "src/metrics/cost_model.h"
+#include "src/partition/partition_quality.h"
 
 namespace cgraph {
 
@@ -111,6 +112,13 @@ struct EngineOptions {
 
   // Capacity of the global table's per-partition job set.
   uint32_t max_jobs = 64;
+
+  // Edge-placement strategy the graph was (or should be) built with (CLI:
+  // --partitioner; see docs/partitioning.md). Partitioning happens at graph-build time,
+  // before the engine exists, so this field is record-keeping the CLI wires into
+  // PartitionOptions::partitioner — Report() sources the measured quality indices from
+  // PartitionedGraph::quality(), the layout's own record, not from here.
+  PartitionerKind partitioner = PartitionerKind::kEvenEdge;
 
   // Job-level admission: which due waiter a freed slot admits (CLI: --admission).
   AdmissionPolicyKind admission_policy = AdmissionPolicyKind::kFifo;

@@ -143,6 +143,7 @@ RunReport LtpEngine::Report() const {
   }
   report.cache = hierarchy_->cache().stats();
   report.memory = hierarchy_->memory().stats();
+  report.partition = layout().quality();
   return report;
 }
 

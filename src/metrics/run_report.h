@@ -10,6 +10,7 @@
 #include "src/cache/cache_sim.h"
 #include "src/cache/memory_hierarchy.h"
 #include "src/metrics/cost_model.h"
+#include "src/partition/partition_quality.h"
 
 namespace cgraph {
 
@@ -101,6 +102,10 @@ struct RunReport {
   CacheStats cache;
   MemoryStats memory;
   double wall_seconds = 0.0;
+  // Layout-quality record of the graph the run executed on (copied from
+  // PartitionedGraph::quality() by Report(); not part of the CSV schema — surfaced by
+  // the CLI's `partition:` summary line and the bench's `partition` JSON section).
+  PartitionQuality partition;
 
   uint64_t TotalComputeUnits() const {
     uint64_t total = 0;

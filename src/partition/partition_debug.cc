@@ -1,0 +1,251 @@
+#include "src/partition/partition_debug.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+
+#include "src/partition/partition_quality.h"
+
+namespace cgraph {
+namespace {
+
+// Keep failure output readable: after this many messages the checker stops collecting
+// (a broken layout tends to violate the same invariant thousands of times).
+constexpr size_t kMaxIssues = 32;
+
+void Add(std::vector<std::string>* issues, std::string message) {
+  if (issues->size() < kMaxIssues) {
+    issues->push_back(std::move(message));
+  }
+}
+
+// (src, dst, weight-bits) triple for multiset comparison; bit-exact on weights.
+using EdgeKey = std::tuple<VertexId, VertexId, uint32_t>;
+
+uint32_t WeightBits(Weight w) {
+  uint32_t bits = 0;
+  static_assert(sizeof(Weight) == sizeof(uint32_t));
+  std::memcpy(&bits, &w, sizeof(bits));
+  return bits;
+}
+
+bool NearlyEqual(double a, double b) { return std::fabs(a - b) <= 1e-9; }
+
+}  // namespace
+
+std::vector<std::string> CheckPartitionInvariants(const EdgeList& edges,
+                                                  const PartitionedGraph& graph,
+                                                  uint64_t max_edges_per_partition) {
+  std::vector<std::string> issues;
+  const VertexId n = graph.num_vertices();
+
+  if (graph.num_vertices() != edges.num_vertices()) {
+    Add(&issues, "vertex count mismatch between graph and edge list");
+  }
+  if (graph.num_edges() != edges.num_edges()) {
+    Add(&issues, "edge count mismatch between graph and edge list");
+  }
+
+  // --- Every edge assigned exactly once, weights preserved, in-CSR consistent. ---
+  std::vector<EdgeKey> expected;
+  expected.reserve(edges.num_edges());
+  for (const Edge& e : edges.edges()) {
+    expected.emplace_back(e.src, e.dst, WeightBits(e.weight));
+  }
+  std::vector<EdgeKey> actual;
+  actual.reserve(edges.num_edges());
+  for (const GraphPartition& part : graph.partitions()) {
+    uint64_t in_edges = 0;
+    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+      const auto targets = part.out_neighbors(v);
+      const auto weights = part.out_weights(v);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        const LocalVertexId t = targets[i];
+        if (t >= part.num_local_vertices()) {
+          Add(&issues, "partition " + std::to_string(part.id()) +
+                           ": out-edge target local id out of range");
+          continue;
+        }
+        actual.emplace_back(part.vertex(v).global_id, part.vertex(t).global_id,
+                            WeightBits(weights[i]));
+      }
+      in_edges += part.in_neighbors(v).size();
+    }
+    if (in_edges != part.num_local_edges()) {
+      Add(&issues, "partition " + std::to_string(part.id()) +
+                       ": in-CSR edge count != out-CSR edge count");
+    }
+    if (max_edges_per_partition > 0 && part.num_local_edges() > max_edges_per_partition) {
+      Add(&issues, "partition " + std::to_string(part.id()) + ": " +
+                       std::to_string(part.num_local_edges()) +
+                       " edges exceed the strategy capacity bound " +
+                       std::to_string(max_edges_per_partition));
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  if (expected != actual) {
+    Add(&issues, "edge multiset mismatch: partitions do not hold exactly the input edges");
+  }
+
+  // --- Exactly one master per vertex; replica metadata agrees with master_of. ---
+  std::vector<uint32_t> master_count(n, 0);
+  std::vector<uint32_t> replica_count(n, 0);
+  for (const GraphPartition& part : graph.partitions()) {
+    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+      const LocalVertexInfo& info = part.vertex(v);
+      if (info.global_id >= n) {
+        Add(&issues, "partition " + std::to_string(part.id()) +
+                         ": local vertex has out-of-range global id");
+        continue;
+      }
+      ++replica_count[info.global_id];
+      const ReplicaRef master = graph.master_of(info.global_id);
+      if (info.master_partition != master.partition || info.master_local != master.local) {
+        Add(&issues, "vertex " + std::to_string(info.global_id) +
+                         ": replica's master location disagrees with master_of()");
+      }
+      if (info.is_master) {
+        ++master_count[info.global_id];
+        if (master.partition != part.id() || master.local != v) {
+          Add(&issues, "vertex " + std::to_string(info.global_id) +
+                           ": master flag set on a replica master_of() does not name");
+        }
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (master_count[v] != 1) {
+      Add(&issues, "vertex " + std::to_string(v) + ": " + std::to_string(master_count[v]) +
+                       " master replicas (want exactly 1)");
+    }
+    if (replica_count[v] == 0) {
+      Add(&issues, "vertex " + std::to_string(v) + ": no replica in any partition");
+    }
+  }
+
+  // --- Mirror wiring: mirrors_of lists exactly the non-master replicas; the derived
+  // index triple is a disjoint ascending cover consistent with num_mirror_refs. ---
+  for (const GraphPartition& part : graph.partitions()) {
+    uint64_t mirror_ref_total = 0;
+    std::vector<uint8_t> covered(part.num_local_vertices(), 0);
+    auto cover = [&](std::span<const LocalVertexId> locals, const char* label) {
+      LocalVertexId prev = 0;
+      bool first = true;
+      for (LocalVertexId v : locals) {
+        if (v >= part.num_local_vertices() || (!first && v <= prev)) {
+          Add(&issues, "partition " + std::to_string(part.id()) + ": " + label +
+                           " not ascending / out of range");
+          return;
+        }
+        if (covered[v]++) {
+          Add(&issues, "partition " + std::to_string(part.id()) + ": local vertex " +
+                           std::to_string(v) + " in more than one derived index");
+        }
+        prev = v;
+        first = false;
+      }
+    };
+    cover(part.mirror_locals(), "mirror_locals");
+    cover(part.replicated_masters(), "replicated_masters");
+    cover(part.interior_locals(), "interior_locals");
+    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+      if (!covered[v]) {
+        Add(&issues, "partition " + std::to_string(part.id()) + ": local vertex " +
+                         std::to_string(v) + " missing from the derived index triple");
+      }
+      const LocalVertexInfo& info = part.vertex(v);
+      const auto mirrors = part.mirrors_of(v);
+      mirror_ref_total += mirrors.size();
+      if (!info.is_master) {
+        if (!mirrors.empty()) {
+          Add(&issues, "partition " + std::to_string(part.id()) +
+                           ": non-master local vertex has a mirror list");
+        }
+        continue;
+      }
+      // The master's mirror list must be exactly this vertex's other replicas.
+      if (info.global_id < n &&
+          mirrors.size() + 1 != replica_count[info.global_id]) {
+        Add(&issues, "vertex " + std::to_string(info.global_id) + ": mirror list size " +
+                         std::to_string(mirrors.size()) + " != replicas - 1");
+      }
+      for (const ReplicaRef& ref : mirrors) {
+        if (ref.partition >= graph.num_partitions() ||
+            ref.local >= graph.partition(ref.partition).num_local_vertices() ||
+            graph.partition(ref.partition).vertex(ref.local).global_id != info.global_id ||
+            graph.partition(ref.partition).vertex(ref.local).is_master) {
+          Add(&issues, "vertex " + std::to_string(info.global_id) +
+                           ": mirror ref does not name a non-master replica of it");
+        }
+      }
+      const bool replicated = !mirrors.empty();
+      const auto& rm = part.replicated_masters();
+      const auto& il = part.interior_locals();
+      const bool in_rm = std::binary_search(rm.begin(), rm.end(), v);
+      const bool in_il = std::binary_search(il.begin(), il.end(), v);
+      if (replicated != in_rm || replicated == in_il) {
+        Add(&issues, "partition " + std::to_string(part.id()) + ": local vertex " +
+                         std::to_string(v) + " classified into the wrong derived index");
+      }
+    }
+    if (mirror_ref_total != part.num_mirror_refs()) {
+      Add(&issues, "partition " + std::to_string(part.id()) +
+                       ": num_mirror_refs() != sum of mirrors_of() sizes");
+    }
+  }
+
+  // --- Stored quality record matches a recomputation from the layout. ---
+  const PartitionQuality recomputed =
+      ComputePartitionQuality(graph, graph.quality().partitioner);
+  const PartitionQuality& stored = graph.quality();
+  if (!NearlyEqual(stored.edge_cut_fraction, recomputed.edge_cut_fraction) ||
+      !NearlyEqual(stored.replication_factor, recomputed.replication_factor) ||
+      stored.mirror_count != recomputed.mirror_count ||
+      !NearlyEqual(stored.edge_balance, recomputed.edge_balance) ||
+      !NearlyEqual(stored.vertex_balance, recomputed.vertex_balance)) {
+    Add(&issues, "stored quality() record disagrees with recomputation from the layout");
+  }
+
+  return issues;
+}
+
+uint64_t PartitionLayoutDigest(const PartitionedGraph& graph) {
+  // FNV-1a over every layout-determining field, in a fixed traversal order.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(graph.num_vertices());
+  mix(graph.num_edges());
+  mix(graph.num_partitions());
+  for (const GraphPartition& part : graph.partitions()) {
+    mix(part.num_local_vertices());
+    mix(part.num_local_edges());
+    mix(part.is_core() ? 1 : 0);
+    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+      const LocalVertexInfo& info = part.vertex(v);
+      mix(info.global_id);
+      mix(info.master_partition);
+      mix(info.master_local);
+      mix(info.is_master ? 1 : 0);
+      const auto targets = part.out_neighbors(v);
+      const auto weights = part.out_weights(v);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        mix(targets[i]);
+        mix(WeightBits(weights[i]));
+      }
+      for (const ReplicaRef& ref : part.mirrors_of(v)) {
+        mix(ref.partition);
+        mix(ref.local);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace cgraph

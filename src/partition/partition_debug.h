@@ -1,0 +1,42 @@
+// Shared partition-layout invariant checker (docs/partitioning.md).
+//
+// Used in two places so the builder and the tests can never drift apart: the
+// PartitionedGraphBuilder post-condition check (debug builds) and the partitioner_test
+// property sweep both call CheckPartitionInvariants on every built layout.
+
+#ifndef SRC_PARTITION_PARTITION_DEBUG_H_
+#define SRC_PARTITION_PARTITION_DEBUG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/partition/partitioned_graph.h"
+
+namespace cgraph {
+
+// Verifies every structural invariant a vertex-cut layout must satisfy, returning one
+// human-readable message per violation (empty = layout is sound):
+//   - every input edge appears in exactly one partition's CSR (same multiset, weights
+//     included), and the in-CSR mirrors the out-CSR;
+//   - every vertex has exactly one master replica, and each local vertex's
+//     master_partition / master_local / is_master agree with PartitionedGraph::master_of;
+//   - mirrors_of(master) lists exactly that vertex's non-master replicas, and the
+//     mirror_locals / replicated_masters / interior_locals index triple is a disjoint,
+//     ascending cover of the partition's local vertices consistent with num_mirror_refs;
+//   - the stored quality() record matches a recomputation from the layout;
+//   - when max_edges_per_partition > 0 (the strategy's EdgeCapacity bound), no
+//     partition holds more edges than that.
+std::vector<std::string> CheckPartitionInvariants(const EdgeList& edges,
+                                                  const PartitionedGraph& graph,
+                                                  uint64_t max_edges_per_partition = 0);
+
+// Order-sensitive digest of the complete layout (vertex tables, both CSR directions,
+// mirror wiring). Two builds are byte-identical in layout iff their digests match —
+// the determinism sweep's equality primitive.
+uint64_t PartitionLayoutDigest(const PartitionedGraph& graph);
+
+}  // namespace cgraph
+
+#endif  // SRC_PARTITION_PARTITION_DEBUG_H_

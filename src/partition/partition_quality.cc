@@ -1,0 +1,54 @@
+#include "src/partition/partition_quality.h"
+
+#include <algorithm>
+
+#include "src/partition/partitioned_graph.h"
+
+namespace cgraph {
+
+PartitionQuality ComputePartitionQuality(const PartitionedGraph& graph,
+                                         PartitionerKind partitioner) {
+  PartitionQuality q;
+  q.partitioner = partitioner;
+  const VertexId n = graph.num_vertices();
+  const uint64_t m = graph.num_edges();
+  const uint32_t num_parts = graph.num_partitions();
+
+  uint64_t replicas = 0;
+  uint64_t max_local_vertices = 0;
+  uint64_t max_local_edges = 0;
+  uint64_t cut_edges = 0;
+  for (const GraphPartition& part : graph.partitions()) {
+    replicas += part.num_local_vertices();
+    max_local_vertices = std::max<uint64_t>(max_local_vertices, part.num_local_vertices());
+    max_local_edges = std::max<uint64_t>(max_local_edges, part.num_local_edges());
+    // Each edge lives in exactly one partition's out-CSR, so this sweep visits every
+    // edge once. An edge is cut when its endpoints' *master* partitions differ — that
+    // is what forces replica pairs to synchronize during Push.
+    for (LocalVertexId v = 0; v < part.num_local_vertices(); ++v) {
+      const PartitionId src_master = part.vertex(v).master_partition;
+      for (LocalVertexId t : part.out_neighbors(v)) {
+        if (part.vertex(t).master_partition != src_master) {
+          ++cut_edges;
+        }
+      }
+    }
+  }
+
+  // Degenerate-case conventions (docs/partitioning.md): an empty graph is perfectly
+  // uncut, unreplicated, and balanced.
+  q.mirror_count = replicas - n;
+  q.replication_factor =
+      n == 0 ? 1.0 : static_cast<double>(replicas) / static_cast<double>(n);
+  q.edge_cut_fraction =
+      m == 0 ? 0.0 : static_cast<double>(cut_edges) / static_cast<double>(m);
+  q.edge_balance = m == 0 ? 1.0
+                          : static_cast<double>(max_local_edges) * num_parts /
+                                static_cast<double>(m);
+  q.vertex_balance = replicas == 0 ? 1.0
+                                   : static_cast<double>(max_local_vertices) * num_parts /
+                                         static_cast<double>(replicas);
+  return q;
+}
+
+}  // namespace cgraph

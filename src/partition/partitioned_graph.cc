@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/common/prng.h"
+#include "src/partition/partition_debug.h"
+#include "src/partition/partitioner.h"
 
 namespace cgraph {
 
@@ -84,7 +88,21 @@ GraphPartition GraphPartition::RewireClone(uint64_t num_rewires, uint64_t seed) 
 
 PartitionedGraph PartitionedGraphBuilder::Build(const EdgeList& edges,
                                                 const PartitionOptions& options) {
+  // The legacy EdgeAssignment enum keeps working: kHashBySource selects the hash_source
+  // strategy unless options.partitioner was set to something non-default explicitly.
+  PartitionerKind kind = options.partitioner;
+  if (kind == PartitionerKind::kEvenEdge &&
+      options.assignment == EdgeAssignment::kHashBySource) {
+    kind = PartitionerKind::kHashSource;
+  }
+  return Build(edges, options, *MakePartitioner(kind));
+}
+
+PartitionedGraph PartitionedGraphBuilder::Build(const EdgeList& edges,
+                                                const PartitionOptions& options,
+                                                const Partitioner& partitioner) {
   CGRAPH_CHECK(options.num_partitions > 0);
+  CGRAPH_CHECK(options.greedy_balance >= 1.0);
   const VertexId n = edges.num_vertices();
   const uint64_t m = edges.num_edges();
   const uint32_t num_parts =
@@ -101,73 +119,17 @@ PartitionedGraph PartitionedGraphBuilder::Build(const EdgeList& edges,
     out_weight[e.src] += e.weight;
   }
 
-  // Decide the edge order. Core-subgraph partitioning groups edges whose both endpoints
-  // are core vertices first, so they land in dedicated leading partitions.
-  std::vector<uint32_t> edge_order(m);
-  for (uint64_t i = 0; i < m; ++i) {
-    edge_order[i] = static_cast<uint32_t>(i);
-  }
-  // Partition boundaries into edge_order: partition p owns [boundaries[p], boundaries[p+1]).
-  std::vector<uint64_t> boundaries(num_parts + 1, 0);
-  std::vector<bool> is_core_vertex;
-  if (options.assignment == EdgeAssignment::kHashBySource && m > 0) {
-    const auto& es = edges.edges();
-    auto bucket_of = [num_parts](VertexId src) {
-      // SplitMix-style avalanche so consecutive ids spread across partitions.
-      uint64_t z = (static_cast<uint64_t>(src) + 0x9e3779b97f4a7c15ULL);
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      return static_cast<uint32_t>((z ^ (z >> 31)) % num_parts);
-    };
-    std::stable_sort(edge_order.begin(), edge_order.end(), [&](uint32_t a, uint32_t b) {
-      const uint32_t ba = bucket_of(es[a].src);
-      const uint32_t bb = bucket_of(es[b].src);
-      if (ba != bb) {
-        return ba < bb;
-      }
-      if (es[a].src != es[b].src) {
-        return es[a].src < es[b].src;
-      }
-      return es[a].dst < es[b].dst;
-    });
-    for (uint64_t i = 0; i < m; ++i) {
-      ++boundaries[bucket_of(es[edge_order[i]].src) + 1];
-    }
-    for (uint32_t p = 0; p < num_parts; ++p) {
-      boundaries[p + 1] += boundaries[p];
-    }
-  } else if (options.core_subgraph && n > 0 && m > 0) {
-    const double avg = 2.0 * static_cast<double>(m) / static_cast<double>(n);
-    const double threshold = options.core_degree_multiplier * avg;
-    is_core_vertex.resize(n, false);
-    for (VertexId v = 0; v < n; ++v) {
-      is_core_vertex[v] = static_cast<double>(total_degree[v]) > threshold;
-    }
-    const auto& es = edges.edges();
-    std::stable_sort(edge_order.begin(), edge_order.end(), [&](uint32_t a, uint32_t b) {
-      const bool core_a = is_core_vertex[es[a].src] && is_core_vertex[es[a].dst];
-      const bool core_b = is_core_vertex[es[b].src] && is_core_vertex[es[b].dst];
-      if (core_a != core_b) {
-        return core_a;  // Core edges first.
-      }
-      if (es[a].src != es[b].src) {
-        return es[a].src < es[b].src;
-      }
-      return es[a].dst < es[b].dst;
-    });
-  } else {
-    const auto& es = edges.edges();
-    std::stable_sort(edge_order.begin(), edge_order.end(), [&](uint32_t a, uint32_t b) {
-      if (es[a].src != es[b].src) {
-        return es[a].src < es[b].src;
-      }
-      return es[a].dst < es[b].dst;
-    });
-  }
-  if (options.assignment != EdgeAssignment::kHashBySource) {
-    for (uint32_t p = 0; p <= num_parts; ++p) {
-      boundaries[p] = m * p / num_parts;  // Equal-edge chunks.
-    }
+  // Delegate edge placement to the strategy: partition p owns the edges
+  // edges()[edge_order[i]] for i in [boundaries[p], boundaries[p+1]), in that order.
+  EdgePartitioning plan = partitioner.Partition(edges, num_parts, options);
+  const std::vector<uint32_t>& edge_order = plan.edge_order;
+  const std::vector<uint64_t>& boundaries = plan.boundaries;
+  const std::vector<bool>& is_core_vertex = plan.is_core_vertex;
+  CGRAPH_CHECK(edge_order.size() == m);
+  CGRAPH_CHECK(boundaries.size() == num_parts + 1ULL);
+  CGRAPH_CHECK(boundaries.front() == 0 && boundaries.back() == m);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    CGRAPH_CHECK(boundaries[p] <= boundaries[p + 1]);
   }
 
   PartitionedGraph pg;
@@ -353,6 +315,19 @@ PartitionedGraph PartitionedGraphBuilder::Build(const EdgeList& edges,
       }
     }
   }
+
+  pg.quality_ = ComputePartitionQuality(pg, partitioner.kind());
+
+#ifndef NDEBUG
+  // Post-conditions, via the same invariant checker the partitioner_test sweep uses.
+  // Compiled out of release bench builds; CGRAPH_DCHECK-style cost model.
+  const std::vector<std::string> issues = CheckPartitionInvariants(
+      edges, pg, partitioner.EdgeCapacity(m, num_parts, options));
+  for (const std::string& issue : issues) {
+    std::fprintf(stderr, "partition invariant violated: %s\n", issue.c_str());
+  }
+  CGRAPH_CHECK(issues.empty());
+#endif
 
   return pg;
 }

@@ -15,8 +15,11 @@
 
 #include "src/common/types.h"
 #include "src/graph/edge_list.h"
+#include "src/partition/partition_quality.h"
 
 namespace cgraph {
+
+class Partitioner;
 
 // Location of a replica: (partition, local index inside that partition's tables).
 struct ReplicaRef {
@@ -141,12 +144,20 @@ struct PartitionOptions {
   // Number of partitions (same-sized by edge count under kChunkedEvenEdges).
   uint32_t num_partitions = 8;
   EdgeAssignment assignment = EdgeAssignment::kChunkedEvenEdges;
+  // Edge-placement strategy (CLI: --partitioner). Takes precedence over `assignment`
+  // unless left at the default kEvenEdge while `assignment` selects kHashBySource, which
+  // keeps the historical enum working for the partitioning ablation.
+  PartitionerKind partitioner = PartitionerKind::kEvenEdge;
   // Core-subgraph partitioning (paper section 3.3): group edges between high-degree "core"
   // vertices into dedicated partitions so reloading hubs does not drag early-converged
-  // low-degree vertices along. Only meaningful under kChunkedEvenEdges.
+  // low-degree vertices along. Only meaningful under the even_edge strategy.
   bool core_subgraph = true;
   // A vertex is core when its total degree exceeds multiplier * average total degree.
   double core_degree_multiplier = 8.0;
+  // Greedy strategy imbalance budget: per-partition edge capacity is
+  // ceil(greedy_balance * num_edges / num_partitions). Must be >= 1.0 or greedy
+  // placement could run out of room.
+  double greedy_balance = 1.05;
 };
 
 class PartitionedGraph {
@@ -166,6 +177,10 @@ class PartitionedGraph {
 
   uint64_t total_structure_bytes() const;
 
+  // Layout-quality indices measured once at build time (partition_quality.h). Records
+  // which strategy produced this layout and what it cost in cut/replication/balance.
+  const PartitionQuality& quality() const { return quality_; }
+
  private:
   friend class PartitionedGraphBuilder;
 
@@ -173,12 +188,22 @@ class PartitionedGraph {
   uint64_t num_edges_ = 0;
   std::vector<GraphPartition> partitions_;
   std::vector<ReplicaRef> masters_;
+  PartitionQuality quality_;
 };
 
 // Builds a PartitionedGraph from an edge list. Deterministic for fixed inputs/options.
 class PartitionedGraphBuilder {
  public:
+  // Resolves options.partitioner (and the legacy options.assignment) through
+  // MakePartitioner and delegates to the explicit-strategy overload below.
   static PartitionedGraph Build(const EdgeList& edges, const PartitionOptions& options);
+
+  // Builds with an explicit strategy: the partitioner produces the edge-placement plan;
+  // the builder constructs CSRs, elects masters, wires the mirror indices, and records
+  // quality indices — identically for every strategy. In debug builds the result is
+  // checked against the shared invariant checker (partition_debug.h).
+  static PartitionedGraph Build(const EdgeList& edges, const PartitionOptions& options,
+                                const Partitioner& partitioner);
 };
 
 // Paper section 3.2.1 "Suitable Size of Graph Partition": the partition byte size P_g is

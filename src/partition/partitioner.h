@@ -1,0 +1,66 @@
+// The edge-placement seam of the partitioned-graph builder (docs/partitioning.md).
+//
+// A Partitioner decides which partition every edge lands in and in what order the
+// edges of a partition are laid out (the order drives local-vertex interning, so it is
+// part of the deterministic layout contract). PartitionedGraphBuilder consumes the
+// resulting plan to build CSRs, elect masters, and wire the mirror indices — identically
+// for every strategy. This is the seam later multi-NUMA / multi-node sharding plugs
+// into: a placement policy only ever has to produce an EdgePartitioning.
+
+#ifndef SRC_PARTITION_PARTITIONER_H_
+#define SRC_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/partition/partition_quality.h"
+#include "src/partition/partitioned_graph.h"
+
+namespace cgraph {
+
+// An edge-placement plan: partition p owns the edges edges()[edge_order[i]] for i in
+// [boundaries[p], boundaries[p+1]), in that order. edge_order is a permutation of
+// [0, num_edges); boundaries has num_parts + 1 entries, ascending, ending at num_edges.
+// is_core_vertex is optional (empty unless the strategy computed core flags) and marks
+// the vertices whose core-core edges the leading partitions group (paper section 3.3).
+struct EdgePartitioning {
+  std::vector<uint32_t> edge_order;
+  std::vector<uint64_t> boundaries;
+  std::vector<bool> is_core_vertex;
+};
+
+// Strategy interface. Implementations must be deterministic: the same edge list,
+// partition count, and options always produce the identical plan (asserted by the
+// partitioner_test determinism sweep).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual PartitionerKind kind() const = 0;
+  std::string_view name() const { return PartitionerKindName(kind()); }
+
+  // Produces the placement plan. `num_parts` is already clamped by the builder to
+  // [1, max(1, num_edges)], so implementations never see more partitions than edges.
+  virtual EdgePartitioning Partition(const EdgeList& edges, uint32_t num_parts,
+                                     const PartitionOptions& options) const = 0;
+
+  // Hard per-partition edge-count bound this strategy guarantees, or 0 when unbounded.
+  // The builder's post-condition check (and the partitioner_test capacity sweep) assert
+  // every partition respects a non-zero bound.
+  virtual uint64_t EdgeCapacity(uint64_t num_edges, uint32_t num_parts,
+                                const PartitionOptions& options) const {
+    (void)num_edges;
+    (void)num_parts;
+    (void)options;
+    return 0;
+  }
+};
+
+// Factory for the built-in strategies (see PartitionerKind).
+std::unique_ptr<Partitioner> MakePartitioner(PartitionerKind kind);
+
+}  // namespace cgraph
+
+#endif  // SRC_PARTITION_PARTITIONER_H_

@@ -4,7 +4,8 @@
 //   cgraph_cli [--graph=FILE | --rmat=SCALE,EDGE_FACTOR[,SEED]]
 //              [--jobs=NAME[,NAME...]] [--system=cgraph|cgraph-without|sequential|
 //               seraph|seraph-vt|nxgraph|clip]
-//              [--partitions=N] [--workers=N] [--source=V] [--csv=PATH]
+//              [--partitions=N] [--partitioner=even_edge|hash_source|greedy|degree]
+//              [--workers=N] [--source=V] [--csv=PATH]
 //              [--theta-scale=X] [--no-straggler] [--dense-trigger] [--chunk-grain=N]
 //              [--sweep-threshold=N] [--arrivals=NAME@STEP[,NAME@STEP...]]
 //              [--admission=fifo|overlap|predict] [--aging=X] [--max-jobs=N]
@@ -80,6 +81,7 @@ struct CliOptions {
   std::vector<ArrivalSpec> arrivals;
   std::string system = "cgraph";
   uint32_t partitions = 16;
+  PartitionerKind partitioner = PartitionerKind::kEvenEdge;
   uint32_t workers = 4;
   VertexId source = kInvalidVertex;  // Default: highest out-degree vertex.
   double theta_scale = 1.0;
@@ -191,6 +193,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->partitions = static_cast<uint32_t>(partitions);
+    } else if (match("--partitioner=")) {
+      if (!ParsePartitionerName(value, &options->partitioner)) {
+        std::fprintf(stderr,
+                     "error: --partitioner expects even_edge, hash_source, greedy, "
+                     "or degree\n");
+        return false;
+      }
     } else if (match("--workers=")) {
       uint64_t workers = 0;
       if (!ParseUint64(value, &workers) || workers == 0 || workers > 0xFFFFu) {
@@ -438,6 +447,17 @@ bool IsKnownJob(const std::string& name) {
 // Parseable execution-mode summary (consumed by tools/run_bench.sh): which iteration
 // model actually applied, per docs/execution_modes.md — async_jobs counts jobs that ran
 // under the relaxed model (monotonic programs with a non-degenerate staleness window).
+// Parseable layout-quality summary (consumed by tools/run_bench.sh; index definitions
+// in docs/partitioning.md). Printed for every system: the indices describe the graph
+// layout, which baselines share with the cgraph systems.
+void PrintPartitionLine(const PartitionQuality& q) {
+  std::printf(
+      "partition: partitioner=%s edge_cut_fraction=%.4f replication_factor=%.4f "
+      "mirror_count=%llu edge_balance=%.4f vertex_balance=%.4f\n",
+      PartitionerKindName(q.partitioner), q.edge_cut_fraction, q.replication_factor,
+      static_cast<unsigned long long>(q.mirror_count), q.edge_balance, q.vertex_balance);
+}
+
 void PrintExecutionLine(const RunReport& report, const EngineOptions& engine_options) {
   size_t async_jobs = 0;
   uint64_t redrain = 0;
@@ -521,6 +541,13 @@ void PrintUsage() {
       "  --system=NAME         cgraph (default), cgraph-without, sequential, seraph,\n"
       "                        seraph-vt, nxgraph, clip\n"
       "  --partitions=N        graph partitions (default 16)\n"
+      "  --partitioner=NAME    edge-placement strategy (docs/partitioning.md):\n"
+      "                        even_edge (default; the paper's sorted equal-edge\n"
+      "                        chunks, byte-identical to the historical layout),\n"
+      "                        hash_source (hash each edge by its source vertex),\n"
+      "                        greedy (streaming replication-minimizing placement,\n"
+      "                        capacity-bounded), degree (edges follow their lower-\n"
+      "                        degree endpoint; only hubs replicate)\n"
       "  --workers=N           worker threads (default 4)\n"
       "  --source=V            traversal source (default: lowest positive out-degree —\n"
       "                        a localized footprint; pass a hub id to fan out wide)\n"
@@ -718,6 +745,7 @@ int main(int argc, char** argv) {
 
   PartitionOptions popts;
   popts.num_partitions = options.partitions;
+  popts.partitioner = options.partitioner;
   popts.core_subgraph = options.system != "cgraph-without";
   const PartitionedGraph graph = PartitionedGraphBuilder::Build(edges, popts);
 
@@ -732,6 +760,7 @@ int main(int argc, char** argv) {
   if (options.sweep_threshold >= 0) {
     engine_options.parallel_sweep_threshold = static_cast<uint32_t>(options.sweep_threshold);
   }
+  engine_options.partitioner = options.partitioner;
   engine_options.admission_policy = options.admission;
   engine_options.execution_mode = options.execution;
   if (options.staleness >= 0) {
@@ -808,6 +837,7 @@ int main(int argc, char** argv) {
     std::printf("graph: %u vertices, %zu edges, %u partitions (replication %.2f)\n",
                 edges.num_vertices(), edges.num_edges(), graph.num_partitions(),
                 graph.replication_factor());
+    PrintPartitionLine(graph.quality());
     std::printf("system: %s daemon, %u workers, %s trace\n\n", options.system.c_str(),
                 options.workers,
                 options.trace_file.empty() ? ArrivalPatternName(options.trace_pattern)
@@ -956,6 +986,7 @@ int main(int argc, char** argv) {
   std::printf("graph: %u vertices, %zu edges, %u partitions (replication %.2f)\n",
               edges.num_vertices(), edges.num_edges(), graph.num_partitions(),
               graph.replication_factor());
+  PrintPartitionLine(graph.quality());
   std::printf("system: %s, %u workers, source %u\n\n", report.executor_name.c_str(),
               report.workers, source);
 

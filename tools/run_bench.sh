@@ -38,6 +38,13 @@
 # injected/recovered counters and the modeled checkpoint overhead ratio at the
 # documented K=8 cadence. All fields are modeled — exact and machine-independent.
 #
+# A "partition" section (docs/partitioning.md) records the build-time quality indices
+# (edge-cut fraction, replication factor, mirror count, edge/vertex balance) of every
+# edge-placement strategy on the headline graph, plus a partitioner x admission-policy
+# ablation on the admission workload: the layout decides which partitions each job's
+# footprint touches, so the policies' reordering room shifts with the partitioner. All
+# fields are modeled — exact and machine-independent.
+#
 # Usage: tools/run_bench.sh [BUILD_DIR] (default: build/release-all, configured on demand)
 # Env:   OUT=path/to/record.json   override the output path (default: BENCH_ltp.json)
 #        SMOKE=1                   skip the full sweep; run the deterministic CI gates:
@@ -55,7 +62,11 @@
 #                                  an injected per-job fault must recover from its
 #                                  checkpoint with results byte-identical to a clean
 #                                  run, and K=8 checkpointing must cost <= 5% of
-#                                  modeled time
+#                                  modeled time; (6) partitioner — the default layout
+#                                  must be byte-identical to an explicit
+#                                  --partitioner=even_edge run (modeled CSV columns),
+#                                  and greedy placement must strictly beat even_edge
+#                                  on replication factor (exact)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -134,14 +145,15 @@ run_point() {  # $1 = workers; prints the total row's wall_seconds
   awk -F, '$2 == "total" { print $14 }' "$CSV"
 }
 
-run_admission() {  # $1 = policy, $2 = workers;
+run_admission() {  # $1 = policy, $2 = workers, $3... = extra flags;
   # prints "mean_wait max_wait scored_jobs mean_admit_overlap wall_seconds".
   # mean_admit_overlap already aggregates *scored* admissions only (the CLI skips
   # unscored jobs, whose admit_overlap = 0 was never computed by any decision).
   local stdout mean max scored overlap wall
   stdout=$("$BUILD_DIR/tools/cgraph_cli" --rmat="$ADM_RMAT" \
     --jobs="$ADM_JOBS" --arrivals="$ADM_ARRIVALS" --partitions="$ADM_PARTITIONS" \
-    --max-jobs="$ADM_MAX_JOBS" --workers="$2" --admission="$1" --csv="$ADM_CSV")
+    --max-jobs="$ADM_MAX_JOBS" --workers="$2" --admission="$1" --csv="$ADM_CSV" \
+    "${@:3}")
   mean=$(sed -n 's/.*mean_wait_steps=\([0-9.]*\).*/\1/p' <<<"$stdout")
   max=$(sed -n 's/.*max_wait_steps=\([0-9]*\).*/\1/p' <<<"$stdout")
   scored=$(sed -n 's/.*scored_jobs=\([0-9]*\).*/\1/p' <<<"$stdout")
@@ -286,6 +298,38 @@ if [ "${SMOKE:-0}" = "1" ]; then
   # byte-identical results, and K=8 checkpointing must stay within 5% of modeled time
   # (tools/fault_smoke.sh, docs/robustness.md).
   tools/fault_smoke.sh "$BUILD_DIR"
+
+  # Partitioner gate (docs/partitioning.md): the default layout must be byte-identical
+  # to an explicit --partitioner=even_edge run on the headline workload (modeled CSV
+  # columns 1-13; the wall-clock column is excluded), and the greedy streaming
+  # placement must strictly beat even_edge on replication factor. Both checks are
+  # modeled — exact and machine-independent.
+  PART_DIR=$(mktemp -d)
+  "$BUILD_DIR/tools/cgraph_cli" --rmat="$RMAT" --jobs="$JOBS" --arrivals="$ARRIVALS" \
+    --partitions="$PARTITIONS" --workers=1 --csv="$PART_DIR/default.csv" \
+    > "$PART_DIR/default.out"
+  "$BUILD_DIR/tools/cgraph_cli" --rmat="$RMAT" --jobs="$JOBS" --arrivals="$ARRIVALS" \
+    --partitions="$PARTITIONS" --workers=1 --partitioner=even_edge \
+    --csv="$PART_DIR/even_edge.csv" >/dev/null
+  if ! diff <(cut -d, -f1-13 "$PART_DIR/default.csv") \
+            <(cut -d, -f1-13 "$PART_DIR/even_edge.csv") >/dev/null; then
+    echo "FAIL: --partitioner=even_edge is not byte-identical to the default layout" >&2
+    rm -rf "$PART_DIR"
+    exit 1
+  fi
+  EE_LINE=$(grep '^partition:' "$PART_DIR/default.out")
+  GR_LINE=$("$BUILD_DIR/tools/cgraph_cli" --rmat="$RMAT" --jobs=bfs \
+    --partitions="$PARTITIONS" --partitioner=greedy --csv="$CSV" | grep '^partition:')
+  rm -rf "$PART_DIR"
+  EE_RF=$(svc_field "$EE_LINE" replication_factor)
+  GR_RF=$(svc_field "$GR_LINE" replication_factor)
+  echo "partition smoke: even_edge replication_factor=$EE_RF greedy=$GR_RF"
+  awk -v e="$EE_RF" -v g="$GR_RF" 'BEGIN { exit (g < e) ? 0 : 1 }' || {
+    echo "FAIL: greedy placement no longer beats even_edge on replication factor (even_edge=$EE_RF greedy=$GR_RF)" >&2
+    exit 1
+  }
+  echo "OK: default layout is byte-identical to even_edge;" \
+       "greedy replicates less ($EE_RF -> $GR_RF)"
   exit 0
 fi
 
@@ -454,8 +498,61 @@ EXEC_NUM_JOBS=$(awk -F, 'NR > 1 && $2 != "total"' "$CSV" | wc -l)
          "$(svc_field "$EXEC_SVC_LINE" p95)" \
          "$(svc_field "$EXEC_SVC_LINE" wall_seconds)" \
          "$(svc_field "$EXEC_SVC_LINE" sustained_jobs_per_second)"
-  printf '  }\n'
+  printf '  },\n'
 } > "$EXECUTION"
+
+# Partition-quality record (docs/partitioning.md): every strategy's build-time quality
+# indices on the headline graph, plus a partitioner x admission-policy ablation on the
+# admission workload. Everything here is modeled — exact and machine-independent (the
+# quality indices are pure functions of the deterministic layout; admission wait steps
+# are a pure function of the modeled schedule).
+PARTITION=$(mktemp)
+PART_CSV=$(mktemp)
+trap 'rm -f "$CSV" "$WALLS" "$ADMISSION" "$ADM_POINT" "$ADM_CSV" "$SERVICE" "$ROBUSTNESS" "$EXECUTION" "$PARTITION" "$PART_CSV"; rm -rf "$ROB_DIR"' EXIT
+part_quality_line() {  # $1 = partitioner; prints the CLI's "partition:" summary line
+  # A dedicated CSV keeps "$CSV" (read by the headline record below) untouched.
+  "$BUILD_DIR/tools/cgraph_cli" --rmat="$RMAT" --jobs=bfs --partitions="$PARTITIONS" \
+    --partitioner="$1" --csv="$PART_CSV" | grep '^partition:'
+}
+emit_quality() {  # $1 = partitioner, $2 = trailing comma
+  local line
+  line=$(part_quality_line "$1")
+  printf '      "%s": {"edge_cut_fraction": %s, "replication_factor": %s, "mirror_count": %s, "edge_balance": %s, "vertex_balance": %s}%s\n' \
+    "$1" "$(svc_field "$line" edge_cut_fraction)" \
+    "$(svc_field "$line" replication_factor)" "$(svc_field "$line" mirror_count)" \
+    "$(svc_field "$line" edge_balance)" "$(svc_field "$line" vertex_balance)" "$2"
+}
+emit_part_adm() {  # $1 = partitioner, $2 = trailing comma
+  local pol sep mean max scored overlap wall
+  printf '      "%s": {' "$1"
+  sep=""
+  for pol in fifo overlap predict; do
+    run_admission "$pol" 1 --partitioner="$1" > "$ADM_POINT"
+    read -r mean max scored overlap wall < "$ADM_POINT"
+    printf '%s"%s": {"mean_wait_steps": %s, "max_wait_steps": %s, "wall_seconds": %s}' \
+      "$sep" "$pol" "$mean" "$max" "$wall"
+    sep=", "
+  done
+  printf '}%s\n' "$2"
+}
+{
+  printf '  "partition": {\n'
+  printf '    "config": {"rmat": "%s", "partitions": %d, ' "$RMAT" "$PARTITIONS"
+  printf '"admission": {"rmat": "%s", "jobs": "%s", "arrivals": "%s", "partitions": %d, "max_jobs": %d, "workers": 1}},\n' \
+         "$ADM_RMAT" "$ADM_JOBS" "$ADM_ARRIVALS" "$ADM_PARTITIONS" "$ADM_MAX_JOBS"
+  printf '    "quality": {\n'
+  emit_quality even_edge ","
+  emit_quality hash_source ","
+  emit_quality greedy ","
+  emit_quality degree ""
+  printf '    },\n'
+  printf '    "admission_ablation": {\n'
+  emit_part_adm even_edge ","
+  emit_part_adm greedy ","
+  emit_part_adm degree ""
+  printf '    }\n'
+  printf '  }\n'
+} > "$PARTITION"
 
 # $CSV still holds the last (workers=4) sweep run; modeled columns are run-invariant.
 awk -F, -v rmat="$RMAT" -v jobs="$JOBS" -v arrivals="$ARRIVALS" \
@@ -503,7 +600,7 @@ awk -F, -v rmat="$RMAT" -v jobs="$JOBS" -v arrivals="$ARRIVALS" \
     printf "  \"total_compute_units\": %s,\n", compute_units
     printf "  \"bytes_below_cache\": %s,\n", below_cache
   }' "$CSV" > "$OUT"
-cat "$ADMISSION" "$SERVICE" "$ROBUSTNESS" "$EXECUTION" >> "$OUT"
+cat "$ADMISSION" "$SERVICE" "$ROBUSTNESS" "$EXECUTION" "$PARTITION" >> "$OUT"
 echo "}" >> "$OUT"
 
 echo "wrote $OUT"
