@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/common/types.h"
 #include "src/metrics/run_report.h"
 #include "src/storage/private_table.h"
@@ -41,14 +42,14 @@ struct JobCheckpoint {
 class CheckpointStore {
  public:
   // Replaces any previous checkpoint for `id` (latest-only retention).
-  void Save(JobId id, JobCheckpoint snapshot);
+  void Save(JobId id, JobCheckpoint snapshot) CGRAPH_REQUIRES_DRIVER;
 
   // The latest checkpoint for `id`, or nullptr. Stays valid until the next Save/Drop
   // for the same id.
   const JobCheckpoint* Find(JobId id) const;
 
   // Forgets `id`'s checkpoint (no-op when absent) — called on clean completion.
-  void Drop(JobId id);
+  void Drop(JobId id) CGRAPH_REQUIRES_DRIVER;
 
   size_t size() const { return checkpoints_.size(); }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/admission_policy.h"
 #include "src/core/checkpoint_store.h"
 #include "src/core/engine_options.h"
@@ -63,7 +64,7 @@ class JobManager {
   //       past is clamped to the current step (a later Submit cannot queue-jump already-
   //       due waiters).
   JobId Submit(std::unique_ptr<VertexProgram> program, Timestamp submit_time,
-               uint64_t arrival_step);
+               uint64_t arrival_step) CGRAPH_REQUIRES_DRIVER;
 
   // Admits waiting jobs while slots are free: each free slot goes to the due waiter
   // (arrival_step <= step) chosen by the configured AdmissionPolicy — strict arrival
@@ -73,7 +74,7 @@ class JobManager {
   //
   // Post: either no waiter is due or all slots are occupied; admitted jobs have
   //       stats().wait_steps and stats().admit_overlap recorded.
-  void AdmitDue(uint64_t step);
+  void AdmitDue(uint64_t step) CGRAPH_REQUIRES_DRIVER;
 
   // Cancels a job that is still waiting for admission (the service layer's shed hook:
   // deadline expiry and queue-bound backpressure both retire queued work through here).
@@ -84,23 +85,27 @@ class JobManager {
   //       and FinalValues-style readback is invalid for it. Returns false (no-op) when
   //       the job already started or finished: running jobs are never shed, they bound
   //       queue wait, not execution (docs/service.md).
-  bool CancelWaiting(JobId id);
+  bool CancelWaiting(JobId id) CGRAPH_REQUIRES_DRIVER;
 
   // True when no job is running and none is waiting.
-  bool AllIdle() const { return running_ == 0 && waiting_.empty(); }
-  bool HasWaiting() const { return !waiting_.empty(); }
+  bool AllIdle() const CGRAPH_REQUIRES_DRIVER_SHARED {
+    return running_ == 0 && waiting_.empty();
+  }
+  bool HasWaiting() const CGRAPH_REQUIRES_DRIVER_SHARED { return !waiting_.empty(); }
   // Jobs submitted but not yet admitted (includes future-scheduled arrivals). The
   // service layer's backpressure signal: a bounded daemon sheds at the door when this
   // reaches its queue bound.
-  size_t NumWaiting() const { return waiting_.size(); }
+  size_t NumWaiting() const CGRAPH_REQUIRES_DRIVER_SHARED { return waiting_.size(); }
   // Smallest arrival step among waiting jobs; only meaningful when HasWaiting().
-  uint64_t NextArrivalStep() const;
+  uint64_t NextArrivalStep() const CGRAPH_REQUIRES_DRIVER_SHARED;
 
   size_t num_jobs() const { return jobs_.size(); }
   Job& job(JobId id) { return *jobs_[id]; }
   const Job& job(JobId id) const { return *jobs_[id]; }
   // The running job holding `slot`, or nullptr.
-  Job* JobAtSlot(uint32_t slot) const { return slot_jobs_[slot]; }
+  Job* JobAtSlot(uint32_t slot) const CGRAPH_REQUIRES_DRIVER_SHARED {
+    return slot_jobs_[slot];
+  }
 
   // Activation tracing (paper section 3.2.2): recomputes the job's activity and
   // next-iteration global-table registration. `swap_buffers` applies the delta
@@ -110,7 +115,8 @@ class JobManager {
   // Pre:  the job is running (holds a slot).
   // Post: the global table registers exactly the partitions where the job has active
   //       vertices; returns the active-vertex total (0 means the job converged).
-  uint64_t RefreshActivity(Job& job, bool all_partitions, bool swap_buffers, bool initial);
+  uint64_t RefreshActivity(Job& job, bool all_partitions, bool swap_buffers, bool initial)
+      CGRAPH_REQUIRES_DRIVER;
 
   // Marks partition p handled for the job's current iteration and retires its
   // registration.
@@ -120,7 +126,7 @@ class JobManager {
   //       routes it through FailJob) and returns false rather than aborting the process.
   // Post: returns true when it was the last partition — the iteration boundary, after
   //       which the caller runs Push and RefreshActivity.
-  bool MarkProcessed(Job& job, PartitionId p);
+  bool MarkProcessed(Job& job, PartitionId p) CGRAPH_REQUIRES_DRIVER;
 
   // --- Fault tolerance (docs/robustness.md) --------------------------------------
 
@@ -130,19 +136,19 @@ class JobManager {
   // freed slot immediately admits the next due waiter.
   //
   // Pre:  the job is running (holds a slot); `status` is non-ok.
-  void FailJob(Job& job, Status status);
+  void FailJob(Job& job, Status status) CGRAPH_REQUIRES_DRIVER;
 
   // Cancels a running job mid-run: terminal stats().cancelled, slot freed via
   // FinalizeJob, next due waiter admitted. The running-job counterpart of
   // CancelWaiting.
   //
   // Pre: the job is running (holds a slot).
-  void CancelRunning(Job& job);
+  void CancelRunning(Job& job) CGRAPH_REQUIRES_DRIVER;
 
   // Enforces EngineOptions::job_step_budget: cancels (via the CancelRunning path) every
   // running job admitted at least `job_step_budget` steps ago. Returns the number
   // cancelled; no-op returning 0 when the budget is off.
-  uint32_t CancelOverBudget(uint64_t step);
+  uint32_t CancelOverBudget(uint64_t step) CGRAPH_REQUIRES_DRIVER;
 
   // Re-queues a terminally failed/cancelled job for re-admission from its latest
   // checkpoint at `arrival_step` (clamped to now). On admission the job resumes from
@@ -150,7 +156,7 @@ class JobManager {
   //
   // Errors: kFailedPrecondition when the job is not terminally failed/cancelled (or is
   // already queued for restore); kNotFound when it has no checkpoint.
-  Status Reenqueue(JobId id, uint64_t arrival_step);
+  Status Reenqueue(JobId id, uint64_t arrival_step) CGRAPH_REQUIRES_DRIVER;
 
   // The job's latest checkpoint, or nullptr (also nullptr whenever checkpointing is
   // off).
@@ -160,7 +166,7 @@ class JobManager {
   // checkpointing is on and the iteration index is a multiple of checkpoint_every.
   // Increments stats().checkpoints_taken / checkpoint_bytes *before* snapshotting, so a
   // restored job reproduces the undisturbed run's later checkpoint counts.
-  void MaybeCheckpoint(Job& job);
+  void MaybeCheckpoint(Job& job) CGRAPH_REQUIRES_DRIVER;
 
   // Completes the job.
   //
@@ -168,7 +174,7 @@ class JobManager {
   // Post: finished() is true, stats are final (wall clock stamped), every registration
   //       bit is cleared, and the freed slot has already admitted the admission
   //       policy's next pick if any waiter was due.
-  void FinishJob(Job& job);
+  void FinishJob(Job& job) CGRAPH_REQUIRES_DRIVER;
 
   // Mean change fraction of p over running jobs — C(P) of scheduler Eq. 1.
   double MeanStateChange(PartitionId p) const;
@@ -182,40 +188,42 @@ class JobManager {
   }
 
   // Engine-maintained clocks, consumed by FinishJob (stats) and slot-release admission.
-  void set_elapsed_seconds(double seconds) { elapsed_seconds_ = seconds; }
-  void set_current_step(uint64_t step) { current_step_ = step; }
+  void set_elapsed_seconds(double seconds) CGRAPH_REQUIRES_DRIVER {
+    elapsed_seconds_ = seconds;
+  }
+  void set_current_step(uint64_t step) CGRAPH_REQUIRES_DRIVER { current_step_ = step; }
 
  private:
   // Binds the job to `slot` and initializes its private table, activity, and first
   // registrations. Jobs with no initially active vertex finalize immediately (the caller's
   // admit loop reuses the freed slot; no recursion). Restore-pending jobs take the
   // RestoreJob path instead of fresh initialization.
-  void InitJob(Job& job, uint32_t slot);
+  void InitJob(Job& job, uint32_t slot) CGRAPH_REQUIRES_DRIVER;
   // Restore half of InitJob: rebuilds the job's runtime state from its latest checkpoint
   // (vertex states, async windows, stats snapshot) and re-derives activity masks,
   // counts, and registrations by re-sweeping the restored states — at an iteration
   // boundary those are pure functions of the states, so the rebuild is exact.
-  void RestoreJob(Job& job);
+  void RestoreJob(Job& job) CGRAPH_REQUIRES_DRIVER;
   // Completion bookkeeping without follow-on admission: final stats, registration
   // teardown, slot release — and, under history-consuming policies, folding the job's
   // activation trace into the footprint history (skipped for failed/cancelled jobs,
   // whose partial traces would poison the per-type profiles).
-  void FinalizeJob(Job& job);
+  void FinalizeJob(Job& job) CGRAPH_REQUIRES_DRIVER;
   // A free slot for `job`, or Job::kInvalidSlot when all are busy. With slot_pools == 1
   // (default): the job's own id when available (legacy bit-identity), else the smallest
   // free one. With slot_pools > 1: the lowest free slot of the pool whose running cohort
   // the job's partition weights (history forecast, else initial footprint) overlap most
   // — admission-time placement; records stats().admit_pool.
-  uint32_t AllocateSlot(Job& job);
+  uint32_t AllocateSlot(Job& job) CGRAPH_REQUIRES_DRIVER;
   // The placement score of `job` against the union of partitions currently active for
   // a cohort (`needed`, one flag per partition).
-  double PlacementScore(Job& job, const std::vector<bool>& needed);
+  double PlacementScore(Job& job, const std::vector<bool>& needed) CGRAPH_REQUIRES_DRIVER;
 
   // Fills job.footprint_ with per-partition initially-active vertex counts (the state
   // InitJob would build, without materializing a private table). Called lazily from
   // AdmitDue — at most once per job, and only when a footprint-aware policy faces a
   // decision with competing candidates.
-  void ComputeFootprint(Job& job);
+  void ComputeFootprint(Job& job) CGRAPH_REQUIRES_DRIVER;
 
   // Per-vertex activity sweep of one partition: optional delta double-buffer swap, then
   // active-mask rebuild. Returns the partition's active count. Dispatches through the
@@ -223,7 +231,7 @@ class JobManager {
   // EngineOptions::parallel_sweep_threshold vertices (results are order-independent:
   // integer counts and disjoint bitmask words).
   uint32_t SweepPartitionActivity(Job& job, const GraphPartition& part, PartitionId p,
-                                  bool swap_buffers, bool initial);
+                                  bool swap_buffers, bool initial) CGRAPH_REQUIRES_DRIVER;
 
   const PartitionedGraph& layout_;
   GlobalTable* table_;
@@ -232,12 +240,14 @@ class JobManager {
   EngineOptions options_;
 
   std::vector<std::unique_ptr<Job>> jobs_;
-  std::vector<Job*> slot_jobs_;        // slot -> running job (nullptr when free).
+  // slot -> running job (nullptr when free).
+  std::vector<Job*> slot_jobs_ CGRAPH_GUARDED_BY_DRIVER;
   struct Waiter {
     JobId job;
     uint64_t arrival_step;
   };
-  std::deque<Waiter> waiting_;         // Sorted by (arrival_step, submission order).
+  // Sorted by (arrival_step, submission order).
+  std::deque<Waiter> waiting_ CGRAPH_GUARDED_BY_DRIVER;
   // Declared before policy_ (the predict policy borrows a pointer); null under
   // policies that never consult history, so fifo/overlap pay nothing for the
   // subsystem and its knobs go unvalidated there.
@@ -247,12 +257,12 @@ class JobManager {
   std::unique_ptr<CheckpointStore> checkpoints_;
   // AdmitDue's candidate/runner arenas and AllocateSlot's cohort mask, reused across
   // calls (no per-admission allocation).
-  std::vector<AdmissionPolicy::Candidate> candidates_;
-  std::vector<PredictedRunner> runners_;
-  std::vector<bool> cohort_needed_;
-  uint32_t running_ = 0;
-  double elapsed_seconds_ = 0.0;
-  uint64_t current_step_ = 0;
+  std::vector<AdmissionPolicy::Candidate> candidates_ CGRAPH_GUARDED_BY_DRIVER;
+  std::vector<PredictedRunner> runners_ CGRAPH_GUARDED_BY_DRIVER;
+  std::vector<bool> cohort_needed_ CGRAPH_GUARDED_BY_DRIVER;
+  uint32_t running_ CGRAPH_GUARDED_BY_DRIVER = 0;
+  double elapsed_seconds_ CGRAPH_GUARDED_BY_DRIVER = 0.0;
+  uint64_t current_step_ CGRAPH_GUARDED_BY_DRIVER = 0;
 };
 
 }  // namespace cgraph

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/cache/memory_hierarchy.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/engine_options.h"
 #include "src/core/job_manager.h"
 #include "src/core/scheduler.h"
@@ -40,19 +41,19 @@ class LoadStage {
             JobManager* manager, const EngineOptions& options);
 
   // Highest-priority partition some job needs, or kInvalidPartition when none.
-  PartitionId PickNext(const std::vector<bool>& eligible) const;
+  PartitionId PickNext(const std::vector<bool>& eligible) const CGRAPH_REQUIRES_DRIVER_SHARED;
 
   // Partition p's registered jobs grouped by resolved structure version. The group order
   // rotates with p so structure-miss attribution does not always fall on the lowest slot.
   // The returned span aliases member arenas reused every scheduling step (no per-step
   // allocation); it is valid until the next FormGroups call.
-  std::span<const VersionGroup> FormGroups(PartitionId p);
+  std::span<const VersionGroup> FormGroups(PartitionId p) CGRAPH_REQUIRES_DRIVER;
 
   // Charges every job's selective structure load and pins the structure for the group.
-  void LoadStructure(PartitionId p, const VersionGroup& group);
+  void LoadStructure(PartitionId p, const VersionGroup& group) CGRAPH_REQUIRES_DRIVER;
 
   // Unpins the group's structure once the trigger stage is done with it.
-  void Release(PartitionId p, const VersionGroup& group);
+  void Release(PartitionId p, const VersionGroup& group) CGRAPH_REQUIRES_DRIVER;
 
  private:
   // Snapshot resolution: the structure version bound to the job's submit time.

@@ -43,6 +43,7 @@ const PartitionedGraph& LtpEngine::layout() const {
 
 LtpEngine::JobHandle LtpEngine::Submit(std::unique_ptr<VertexProgram> program,
                                        Timestamp submit_time) {
+  ScopedThreadRole role(g_driver_role);
   // Arrival at the current step, not step 0: a later Submit must not queue-jump earlier
   // capacity-blocked waiters whose arrival step already passed (FIFO admission).
   const JobId id = manager_->Submit(std::move(program), submit_time, step_);
@@ -52,6 +53,7 @@ LtpEngine::JobHandle LtpEngine::Submit(std::unique_ptr<VertexProgram> program,
 
 LtpEngine::JobHandle LtpEngine::SubmitAt(std::unique_ptr<VertexProgram> program,
                                          uint64_t arrival_step, Timestamp submit_time) {
+  ScopedThreadRole role(g_driver_role);
   const JobId id = manager_->Submit(std::move(program), submit_time, arrival_step);
   return JobHandle(this, id);
 }
@@ -70,6 +72,7 @@ JobId LtpEngine::ScheduleJob(std::unique_ptr<VertexProgram> program, uint64_t ar
 }
 
 bool LtpEngine::Step() {
+  ScopedThreadRole role(g_driver_role);
   WallTimer timer;
   // Jobs finishing during this step are stamped with the wall time accumulated *before*
   // it, mirroring the original engine's per-step clock update.
@@ -222,6 +225,7 @@ void LtpEngine::CorruptJobState(Job& job) {
 }
 
 bool LtpEngine::Cancel(JobId id) {
+  ScopedThreadRole role(g_driver_role);
   CGRAPH_CHECK(id < manager_->num_jobs());
   Job& job = manager_->job(id);
   if (job.finished()) {
@@ -235,6 +239,7 @@ bool LtpEngine::Cancel(JobId id) {
 }
 
 Status LtpEngine::RestartFromCheckpoint(JobId id, uint64_t arrival_step) {
+  ScopedThreadRole role(g_driver_role);
   const Status status = manager_->Reenqueue(id, arrival_step);
   if (status.ok()) {
     manager_->AdmitDue(step_);  // Resumes now when due and a slot is free.

@@ -35,6 +35,7 @@
 #include "src/cache/memory_hierarchy.h"
 #include "src/common/check.h"
 #include "src/common/fault_injection.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/status.h"
 #include "src/core/engine_options.h"
 #include "src/core/job.h"
@@ -127,12 +128,18 @@ class LtpEngine {
   // --- Service-daemon hooks (src/service/; see docs/service.md) ------------------
 
   // Jobs submitted but not yet admitted — the daemon's backpressure signal.
-  size_t NumWaiting() const { return manager_->NumWaiting(); }
+  size_t NumWaiting() const {
+    ScopedThreadRole role(g_driver_role);
+    return manager_->NumWaiting();
+  }
 
   // Sheds a job that is still queued for admission (deadline expiry / queue bound).
   // Returns true iff the job was waiting; it is then finished with stats().shed set and
   // zero work. Running or finished jobs are untouched (returns false).
-  bool CancelWaiting(JobId id) { return manager_->CancelWaiting(id); }
+  bool CancelWaiting(JobId id) {
+    ScopedThreadRole role(g_driver_role);
+    return manager_->CancelWaiting(id);
+  }
 
   // Mutable per-job stats for service-layer annotations (coalesced_callers,
   // deadline_step). Engine behavior never reads these fields; modeled metrics are
@@ -215,11 +222,11 @@ class LtpEngine {
 
   // Load -> Trigger -> Push for one picked partition. Fault-injection polls and the
   // fail_status_ routing (per-job failure isolation) live here, between the stages.
-  void ProcessPartition(PartitionId p);
+  void ProcessPartition(PartitionId p) CGRAPH_REQUIRES_DRIVER;
 
   // Scribbles NaN into one deterministically chosen vertex of the job's private table
   // (the kCorruptState payload) so recovery tests can prove a restore discards damage.
-  void CorruptJobState(Job& job);
+  void CorruptJobState(Job& job) CGRAPH_REQUIRES_DRIVER;
 
   const PartitionedGraph* graph_ = nullptr;
   const SnapshotStore* snapshots_ = nullptr;

@@ -24,6 +24,7 @@
 #define SRC_CORE_PUSH_STAGE_H_
 
 #include "src/cache/memory_hierarchy.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/engine_options.h"
 #include "src/core/job_manager.h"
 #include "src/partition/partitioned_graph.h"
@@ -38,12 +39,12 @@ class PushStage {
 
   // Buffers the job's non-identity mirror deltas of partition p into its sync queue
   // (the paper's S_new) after a trigger, clearing the slots for the broadcast phase.
-  void CollectMirrorRecords(Job& job, PartitionId p);
+  void CollectMirrorRecords(Job& job, PartitionId p) CGRAPH_REQUIRES_DRIVER;
 
   // Runs the job's full iteration-boundary push: merge, broadcast, buffer swap, activity
   // refresh, and the program's OnIterationEnd protocol. Finishes the job when it
   // converged, hit the iteration valve, or declared itself done.
-  void Push(Job& job);
+  void Push(Job& job) CGRAPH_REQUIRES_DRIVER;
 
  private:
   const PartitionedGraph& layout_;

@@ -27,6 +27,7 @@
 
 #include "src/cache/memory_hierarchy.h"
 #include "src/common/bitset.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/engine_options.h"
 #include "src/core/job.h"
 #include "src/partition/partitioned_graph.h"
@@ -42,10 +43,12 @@ class TriggerStage {
   // Triggers partition p's loaded structure for every job in `group`, charging each
   // job's private-partition access as its batch rotates in. Fully converged (job,
   // partition) pairs — active count zero — are skipped before batching.
-  void Run(PartitionId p, const GraphPartition& part, const std::vector<Job*>& group);
+  void Run(PartitionId p, const GraphPartition& part, const std::vector<Job*>& group)
+      CGRAPH_REQUIRES_DRIVER;
 
  private:
-  void TriggerBatch(PartitionId p, const GraphPartition& part, std::span<Job* const> batch);
+  void TriggerBatch(PartitionId p, const GraphPartition& part, std::span<Job* const> batch)
+      CGRAPH_REQUIRES_DRIVER;
 
   // Sweeps words [word_begin, word_end) of `mask`, invoking Compute on each set bit (or
   // the dense per-vertex loop under the ablation), and flushes the stat counters with
@@ -64,7 +67,7 @@ class TriggerStage {
   // never drained. Runs inline on the driver thread in ascending vertex order; for a
   // monotonic program the result equals dedicating extra BSP iterations to this
   // partition, so converged values are unchanged — only the iteration count shrinks.
-  void Redrain(PartitionId p, const GraphPartition& part, Job* job);
+  void Redrain(PartitionId p, const GraphPartition& part, Job* job) CGRAPH_REQUIRES_DRIVER;
 
   ThreadPool* pool_;
   MemoryHierarchy* hierarchy_;

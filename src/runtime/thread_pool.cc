@@ -32,10 +32,10 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& t : threads_) {
     t.join();
   }
@@ -43,10 +43,10 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
@@ -54,33 +54,35 @@ void ThreadPool::RunAndWait(std::vector<std::function<void()>> tasks) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto& t : tasks) {
       queue_.push_back(std::move(t));
     }
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
 
   // The caller helps drain the queue, then waits for stragglers.
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
     if (!queue_.empty()) {
       auto task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
-      lock.unlock();
+      lock.Unlock();
       task();
-      lock.lock();
+      lock.Lock();
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) {
-        batch_done_.notify_all();
+        batch_done_.NotifyAll();
       }
       continue;
     }
     if (in_flight_ == 0) {
       return;
     }
-    batch_done_.wait(lock, [this] { return (queue_.empty() && in_flight_ == 0) || !queue_.empty(); });
+    batch_done_.Wait(lock, [this]() CGRAPH_REQUIRES(mutex_) {
+      return (queue_.empty() && in_flight_ == 0) || !queue_.empty();
+    });
   }
 }
 
@@ -98,7 +100,7 @@ void ThreadPool::RunBatch(size_t n_tasks, BatchFn fn) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     CGRAPH_CHECK(!batch_open_);  // Single driver thread; RunBatch must not nest.
     batch_fn_ = fn;
     batch_size_ = n_tasks;
@@ -107,14 +109,16 @@ void ThreadPool::RunBatch(size_t n_tasks, BatchFn fn) {
     ++batch_epoch_;
     batch_open_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
 
   DrainBatch(fn, n_tasks);  // The caller claims indices like any worker.
 
   // Wait for completion AND for every worker to leave DrainBatch: a straggler that is
   // about to bump the cursor must not observe the next batch's reset cursor.
-  std::unique_lock<std::mutex> lock(mutex_);
-  batch_done_.wait(lock, [this] { return !batch_open_ && batch_drainers_ == 0; });
+  MutexLock lock(mutex_);
+  batch_done_.Wait(lock, [this]() CGRAPH_REQUIRES(mutex_) {
+    return !batch_open_ && batch_drainers_ == 0;
+  });
 }
 
 void ThreadPool::DrainBatch(BatchFn fn, size_t n_tasks) {
@@ -128,19 +132,19 @@ void ThreadPool::DrainBatch(BatchFn fn, size_t n_tasks) {
     // writes before the RunBatch caller resumes past the batch.
     if (batch_completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_tasks) {
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         batch_open_ = false;
       }
-      batch_done_.notify_all();
+      batch_done_.NotifyAll();
     }
   }
 }
 
 void ThreadPool::WorkerLoop() {
   uint64_t drained_epoch = 0;  // Last batch epoch this worker already pulled from.
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    work_available_.wait(lock, [this, drained_epoch] {
+    work_available_.Wait(lock, [this, drained_epoch]() CGRAPH_REQUIRES(mutex_) {
       return shutting_down_ || !queue_.empty() ||
              (batch_open_ && batch_epoch_ != drained_epoch);
     });
@@ -149,12 +153,12 @@ void ThreadPool::WorkerLoop() {
       const BatchFn fn = batch_fn_;
       const size_t n = batch_size_;
       ++batch_drainers_;
-      lock.unlock();
+      lock.Unlock();
       DrainBatch(fn, n);
-      lock.lock();
+      lock.Lock();
       --batch_drainers_;
       if (batch_drainers_ == 0 && !batch_open_) {
-        batch_done_.notify_all();
+        batch_done_.NotifyAll();
       }
       continue;
     }
@@ -167,12 +171,12 @@ void ThreadPool::WorkerLoop() {
     auto task = std::move(queue_.front());
     queue_.pop_front();
     ++in_flight_;
-    lock.unlock();
+    lock.Unlock();
     task();
-    lock.lock();
+    lock.Lock();
     --in_flight_;
     if (queue_.empty() && in_flight_ == 0) {
-      batch_done_.notify_all();
+      batch_done_.NotifyAll();
     }
   }
 }

@@ -14,15 +14,16 @@
 #define SRC_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/function_ref.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace cgraph {
 
@@ -72,28 +73,31 @@ class ThreadPool {
   void WorkerLoop();
 
   // Claims batch indices until the cursor passes the end; the claimer of the last
-  // completed index closes the batch and wakes the RunBatch caller.
-  void DrainBatch(BatchFn fn, size_t n_tasks);
+  // completed index closes the batch and wakes the RunBatch caller. Called without the
+  // mutex held (it briefly takes it to close the batch).
+  void DrainBatch(BatchFn fn, size_t n_tasks) CGRAPH_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable batch_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // Tasks popped but not yet finished.
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar batch_done_;
+  std::deque<std::function<void()>> queue_ CGRAPH_GUARDED_BY(mutex_);
+  // Tasks popped but not yet finished.
+  size_t in_flight_ CGRAPH_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ CGRAPH_GUARDED_BY(mutex_) = false;
 
   // Batch state. fn/size/epoch are written under mutex_ before the batch opens and read
   // by workers after they observe batch_open_ under the same mutex; the cursor and the
   // completion count are the only contended words while a batch runs.
-  bool batch_open_ = false;        // Guarded by mutex_.
-  uint64_t batch_epoch_ = 0;       // Guarded by mutex_; bumped per batch so a worker that
-                                   // drained an empty cursor sleeps instead of respinning.
-  size_t batch_drainers_ = 0;      // Guarded by mutex_: workers currently inside
-                                   // DrainBatch. RunBatch returns only once this is 0, so
-                                   // the next batch cannot reset the cursor under a
-                                   // straggling claimer of the previous one.
-  BatchFn batch_fn_;               // Valid while the batch that published it is open.
-  size_t batch_size_ = 0;
+  bool batch_open_ CGRAPH_GUARDED_BY(mutex_) = false;
+  // Bumped per batch so a worker that drained an empty cursor sleeps instead of
+  // respinning.
+  uint64_t batch_epoch_ CGRAPH_GUARDED_BY(mutex_) = 0;
+  // Workers currently inside DrainBatch. RunBatch returns only once this is 0, so the
+  // next batch cannot reset the cursor under a straggling claimer of the previous one.
+  size_t batch_drainers_ CGRAPH_GUARDED_BY(mutex_) = 0;
+  // Valid while the batch that published it is open.
+  BatchFn batch_fn_ CGRAPH_GUARDED_BY(mutex_);
+  size_t batch_size_ CGRAPH_GUARDED_BY(mutex_) = 0;
   std::atomic<size_t> batch_cursor_{0};
   std::atomic<size_t> batch_completed_{0};
 

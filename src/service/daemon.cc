@@ -196,6 +196,9 @@ void ServiceDriver::Retry(const std::vector<ServiceRequest>& trace, PendingJob& 
 }
 
 ServiceReport ServiceDriver::Run(const std::vector<ServiceRequest>& trace) {
+  // The driver owns the engine's Step() loop for the whole replay — this thread IS the
+  // driver thread (docs/static_analysis.md).
+  ScopedThreadRole role(g_driver_role);
   CGRAPH_CHECK(!ran_);
   ran_ = true;
 

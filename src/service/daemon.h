@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/core/ltp_engine.h"
 #include "src/metrics/latency_reservoir.h"
 #include "src/service/request_table.h"
@@ -139,26 +140,27 @@ class ServiceDriver {
   // Routes one due request: coalesce-attach, door-shed, or submit. `index` is its trace
   // position.
   void AdmitRequest(const std::vector<ServiceRequest>& trace, size_t index,
-                    ServiceReport* report);
+                    ServiceReport* report) CGRAPH_REQUIRES_DRIVER;
   // Sheds pending jobs still waiting past their deadline at `now` (or retries them,
   // when retries remain).
   void ShedExpired(const std::vector<ServiceRequest>& trace, uint64_t now,
-                   ServiceReport* report);
+                   ServiceReport* report) CGRAPH_REQUIRES_DRIVER;
   // Moves finished pending jobs into outcomes / the latency reservoir; routes mid-run
   // failures/cancellations through the retry policy first.
-  void ReapFinished(const std::vector<ServiceRequest>& trace, ServiceReport* report);
+  void ReapFinished(const std::vector<ServiceRequest>& trace, ServiceReport* report)
+      CGRAPH_REQUIRES_DRIVER;
   // Schedules `p`'s next attempt at `abort_step` + the exponential backoff: checkpoint
   // restart when one exists, fresh resubmission of the representative request
   // otherwise. Updates the coalesce table, deadline, and outcome job ids. Pre: a retry
   // attempt remains.
   void Retry(const std::vector<ServiceRequest>& trace, PendingJob& p, uint64_t abort_step,
-             ServiceReport* report);
+             ServiceReport* report) CGRAPH_REQUIRES_DRIVER;
 
   LtpEngine* engine_;
   ServiceOptions options_;
-  RequestTable table_;
-  LatencyReservoir reservoir_;
-  std::vector<PendingJob> pending_;
+  RequestTable table_ CGRAPH_GUARDED_BY_DRIVER;
+  LatencyReservoir reservoir_ CGRAPH_GUARDED_BY_DRIVER;
+  std::vector<PendingJob> pending_ CGRAPH_GUARDED_BY_DRIVER;
   bool ran_ = false;
 };
 

@@ -1,0 +1,12 @@
+#include <unordered_map>
+
+using Index = std::unordered_map<int, int>;
+Index index_;
+
+int SumAlias() {
+  int sum = 0;
+  for (const auto& kv : index_) {
+    sum += kv.second;
+  }
+  return sum;
+}

@@ -1,0 +1,8 @@
+#include <chrono>
+#include <ctime>
+
+double WallNow() {
+  auto tp = std::chrono::system_clock::now();
+  (void)tp;
+  return static_cast<double>(time(nullptr));
+}

@@ -1,0 +1,6 @@
+#include "src/core/trigger_stage.h"
+
+void Run(const Job& job) {
+  CGRAPH_CHECK(job.ok());
+  CGRAPH_CHECK(pool != nullptr);
+}

@@ -1,0 +1,5 @@
+#ifndef SRC_MISSING_DEFINE_H_
+
+inline int Two() { return 2; }
+
+#endif

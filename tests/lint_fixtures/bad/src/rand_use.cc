@@ -1,0 +1,8 @@
+#include <cstdlib>
+#include <random>
+
+int Roll() {
+  std::mt19937 gen(7);
+  (void)gen;
+  return rand();
+}

@@ -1,0 +1,16 @@
+#include "src/table.h"
+
+#include <unordered_set>
+
+std::unordered_set<int> local_keys;
+
+int Sum(const Table& t) {
+  int sum = 0;
+  for (const auto& kv : t.entries_) {
+    sum += kv.second;
+  }
+  for (int k : local_keys) {
+    sum += k;
+  }
+  return sum;
+}

@@ -1,0 +1,6 @@
+#include <thread>
+
+void Spawn() {
+  std::thread worker([] {});
+  worker.join();
+}

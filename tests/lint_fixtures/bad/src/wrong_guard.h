@@ -1,0 +1,6 @@
+#ifndef TOTALLY_WRONG_H_
+#define TOTALLY_WRONG_H_
+
+inline int One() { return 1; }
+
+#endif  // TOTALLY_WRONG_H_

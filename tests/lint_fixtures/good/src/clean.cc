@@ -1,0 +1,28 @@
+#include "src/table_good.h"
+
+#include <vector>
+
+// A comment naming system_clock, rand(), std::thread, or mt19937 must never trip
+// the linter: rules run on stripped text.
+static const char* kMessage = "rand() and steady_clock in a string literal are fine";
+
+int Sum(const std::vector<int>& v, const Table& t) {
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+  }
+  // Keyed lookups into unordered containers are fine; only iteration is banned.
+  auto it = t.entries_.find(0);
+  if (it != t.entries_.end()) {
+    sum += it->second;
+  }
+  (void)kMessage;
+  return sum;
+}
+
+uint64_t StepLatency(uint64_t finish_step, uint64_t submit_time) {
+  // Identifiers *containing* banned names (submit_time, clock_skew_steps) are fine:
+  // matching is whole-identifier.
+  uint64_t clock_skew_steps = 0;
+  return finish_step - submit_time + clock_skew_steps;
+}

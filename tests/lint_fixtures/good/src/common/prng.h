@@ -1,0 +1,10 @@
+#ifndef SRC_COMMON_PRNG_H_
+#define SRC_COMMON_PRNG_H_
+
+// The sanctioned randomness module: engine tokens in *this* path are exempt from
+// determinism-rand (the rule exists to funnel all randomness through here).
+using mt19937 = unsigned;
+
+inline unsigned SplitMixLike(unsigned s) { return s * 2654435769u; }
+
+#endif  // SRC_COMMON_PRNG_H_

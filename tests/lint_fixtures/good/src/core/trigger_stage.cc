@@ -1,0 +1,6 @@
+#include "src/core/trigger_stage.h"
+
+void Wire(void* pool) {
+  // Allowlisted programmer-error invariant — constructor wiring, not data.
+  CGRAPH_CHECK(pool != nullptr);
+}

@@ -1,0 +1,7 @@
+#include <thread>
+
+// The one sanctioned home for raw threads: naked-thread exempts this path.
+void SpawnWorkers() {
+  std::thread worker([] {});
+  worker.join();
+}

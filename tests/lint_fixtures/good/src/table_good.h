@@ -1,0 +1,10 @@
+#ifndef SRC_TABLE_GOOD_H_
+#define SRC_TABLE_GOOD_H_
+
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<int, int> entries_;
+};
+
+#endif  // SRC_TABLE_GOOD_H_

@@ -1,0 +1,114 @@
+// cgraph_lint: repo-specific determinism/failure-boundary linter (docs/static_analysis.md).
+//
+// Usage:
+//   cgraph_lint [--root=DIR] [--suppressions=FILE] [--allowlist=FILE] [paths...]
+//
+// Paths are repo-relative scan roots (default: `src tools`). Exit code 0 when clean,
+// 1 when findings remain after suppressions, 2 on usage or config errors. Findings go
+// to stdout as `file:line rule message` in deterministic order; diagnostics to stderr.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace {
+
+bool ReadFile(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int Usage() {
+  std::cerr << "usage: cgraph_lint [--root=DIR] [--suppressions=FILE] "
+               "[--allowlist=FILE] [paths...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string suppressions_path;
+  std::string allowlist_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--suppressions=", 0) == 0) {
+      suppressions_path = arg.substr(15);
+    } else if (arg.rfind("--allowlist=", 0) == 0) {
+      allowlist_path = arg.substr(12);
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    roots = {"src", "tools"};
+  }
+
+  namespace fs = std::filesystem;
+  // The committed config files are picked up automatically when present under the
+  // scan root, so `cgraph_lint` from a repo checkout needs no flags at all.
+  if (suppressions_path.empty()) {
+    const fs::path candidate = fs::path(root) / "tools/lint/lint_suppressions.txt";
+    if (fs::exists(candidate)) {
+      suppressions_path = candidate.string();
+    }
+  }
+  if (allowlist_path.empty()) {
+    const fs::path candidate = fs::path(root) / "tools/lint/stage_check_allowlist.txt";
+    if (fs::exists(candidate)) {
+      allowlist_path = candidate.string();
+    }
+  }
+
+  cgraph::lint::Config config;
+  if (!allowlist_path.empty()) {
+    std::string content;
+    if (!ReadFile(allowlist_path, &content)) {
+      std::cerr << "cgraph-lint: cannot read allowlist " << allowlist_path << "\n";
+      return 2;
+    }
+    config.allowed_stage_checks = cgraph::lint::ParseAllowlistFile(content);
+  }
+  if (!suppressions_path.empty()) {
+    std::string content;
+    if (!ReadFile(suppressions_path, &content)) {
+      std::cerr << "cgraph-lint: cannot read suppressions " << suppressions_path
+                << "\n";
+      return 2;
+    }
+    std::string error;
+    if (!cgraph::lint::ParseSuppressionFile(content, &config.suppressions, &error)) {
+      std::cerr << "cgraph-lint: " << suppressions_path << ": " << error << "\n";
+      return 2;
+    }
+    // Report unused entries against the repo-relative name so output does not vary
+    // with how the tool was invoked.
+    config.suppression_file = "tools/lint/lint_suppressions.txt";
+  }
+
+  const std::vector<cgraph::lint::Finding> findings =
+      cgraph::lint::LintTree(root, roots, config);
+  std::cout << cgraph::lint::FormatFindings(findings);
+  if (!findings.empty()) {
+    std::cerr << "cgraph-lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  std::cerr << "cgraph-lint: clean\n";
+  return 0;
+}

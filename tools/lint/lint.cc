@@ -1,0 +1,779 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace cgraph::lint {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// One identifier token in the stripped text.
+struct Ident {
+  std::string_view name;
+  size_t pos = 0;  // Offset of the first character in the stripped text.
+};
+
+std::vector<Ident> ScanIdentifiers(std::string_view stripped) {
+  std::vector<Ident> out;
+  size_t i = 0;
+  while (i < stripped.size()) {
+    if (IsIdentStart(stripped[i])) {
+      size_t j = i + 1;
+      while (j < stripped.size() && IsIdentChar(stripped[j])) {
+        ++j;
+      }
+      out.push_back(Ident{stripped.substr(i, j - i), i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+int LineOf(std::string_view text, size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+size_t NextNonWs(std::string_view text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+size_t PrevNonWs(std::string_view text, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(text[pos])) == 0) {
+      return pos;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// True when the identifier at `id` is reached through `std::` (exactly, after
+// whitespace), e.g. `std :: thread`.
+bool PrecededByStd(std::string_view stripped, const Ident& id) {
+  size_t p = PrevNonWs(stripped, id.pos);
+  if (p == std::string_view::npos || stripped[p] != ':') {
+    return false;
+  }
+  p = PrevNonWs(stripped, p);
+  if (p == std::string_view::npos || stripped[p] != ':') {
+    return false;
+  }
+  p = PrevNonWs(stripped, p);
+  if (p == std::string_view::npos || !IsIdentChar(stripped[p])) {
+    return false;
+  }
+  size_t start = p;
+  while (start > 0 && IsIdentChar(stripped[start - 1])) {
+    --start;
+  }
+  return stripped.substr(start, p - start + 1) == "std";
+}
+
+// Returns the offset one past the matching close for the bracket pair opened at
+// `open` ('(' or '<'), or npos when unbalanced. The angle variant ignores `->`.
+size_t SkipBalanced(std::string_view text, size_t open, char open_c, char close_c) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == open_c) {
+      ++depth;
+    } else if (c == close_c) {
+      if (close_c == '>' && i > 0 && text[i - 1] == '-') {
+        continue;  // An `->` arrow, not a template close.
+      }
+      --depth;
+      if (depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
+bool HasSuffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         std::string_view(s).substr(s.size() - suffix.size()) == suffix;
+}
+
+// --- determinism-clock / determinism-rand -------------------------------------------
+
+// Wall-clock sources: any appearance is a finding.
+const std::set<std::string_view> kClockTypes = {
+    "system_clock", "high_resolution_clock", "steady_clock", "gettimeofday",
+    "clock_gettime", "timespec_get",         "localtime",    "gmtime",
+    "ftime",         "mktime",
+};
+// `time(...)` / `clock(...)`: flagged only in call position so fields like
+// `submit_time` or `arrival_step` never trip the rule.
+const std::set<std::string_view> kClockCalls = {"time", "clock"};
+
+// Random engines/types: any appearance is a finding.
+const std::set<std::string_view> kRandTypes = {
+    "random_device",        "mt19937",
+    "mt19937_64",           "minstd_rand",
+    "minstd_rand0",         "default_random_engine",
+    "knuth_b",              "ranlux24",
+    "ranlux48",             "ranlux24_base",
+    "ranlux48_base",        "random_shuffle",
+    "mersenne_twister_engine", "linear_congruential_engine",
+    "subtract_with_carry_engine",
+};
+// C random APIs: call position only (a member named `random` is fine; `random(` is not).
+const std::set<std::string_view> kRandCalls = {
+    "rand", "srand", "rand_r", "drand48", "srand48", "lrand48", "mrand48", "random",
+};
+
+void CheckDeterminism(const std::string& path, std::string_view stripped,
+                      const std::vector<Ident>& idents, std::vector<Finding>* out) {
+  const bool rand_exempt = path == "src/common/prng.h";
+  for (const Ident& id : idents) {
+    const bool call_position =
+        NextNonWs(stripped, id.pos + id.name.size()) < stripped.size() &&
+        stripped[NextNonWs(stripped, id.pos + id.name.size())] == '(';
+    if (kClockTypes.count(id.name) != 0 ||
+        (kClockCalls.count(id.name) != 0 && call_position)) {
+      out->push_back(Finding{
+          path, LineOf(stripped, id.pos), "determinism-clock",
+          "wall-clock source '" + std::string(id.name) +
+              "' — modeled metrics are scheduling-step based and must be byte-identical "
+              "across runs; see docs/static_analysis.md"});
+      continue;
+    }
+    if (rand_exempt) {
+      continue;
+    }
+    if (kRandTypes.count(id.name) != 0 ||
+        (kRandCalls.count(id.name) != 0 && call_position)) {
+      out->push_back(Finding{
+          path, LineOf(stripped, id.pos), "determinism-rand",
+          "random source '" + std::string(id.name) +
+              "' — use the seeded generators in src/common/prng.h so a fixed seed "
+              "replays bit-for-bit"});
+    }
+  }
+}
+
+// --- unordered-iter -----------------------------------------------------------------
+
+const std::set<std::string_view> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+// Harvests the declared name following a container type token: skips template
+// arguments and `*`/`&` decorations, rejects nested-type uses (`>::iterator`) and
+// function declarations (`> Name(`).
+void HarvestDeclName(std::string_view stripped, size_t after_type,
+                     std::set<std::string>* names) {
+  size_t p = NextNonWs(stripped, after_type);
+  if (p < stripped.size() && stripped[p] == '<') {
+    p = SkipBalanced(stripped, p, '<', '>');
+    if (p == std::string_view::npos) {
+      return;
+    }
+    p = NextNonWs(stripped, p);
+  }
+  while (p < stripped.size() && (stripped[p] == '*' || stripped[p] == '&')) {
+    p = NextNonWs(stripped, p + 1);
+  }
+  if (p >= stripped.size() || !IsIdentStart(stripped[p])) {
+    return;
+  }
+  size_t q = p;
+  while (q < stripped.size() && IsIdentChar(stripped[q])) {
+    ++q;
+  }
+  const size_t next = NextNonWs(stripped, q);
+  if (next < stripped.size() && (stripped[next] == '(' || stripped[next] == ':')) {
+    return;  // Function declaration or `Type::member` scope use.
+  }
+  names->insert(std::string(stripped.substr(p, q - p)));
+}
+
+std::set<std::string> UnorderedNames(std::string_view stripped) {
+  const std::vector<Ident> idents = ScanIdentifiers(stripped);
+  // Pass 1: `using Alias = ... unordered_xxx ...;` alias names count as container
+  // types for pass 2.
+  std::set<std::string_view> aliases;
+  for (size_t k = 0; k + 1 < idents.size(); ++k) {
+    if (idents[k].name != "using") {
+      continue;
+    }
+    const Ident& alias = idents[k + 1];
+    const size_t eq = NextNonWs(stripped, alias.pos + alias.name.size());
+    if (eq >= stripped.size() || stripped[eq] != '=') {
+      continue;
+    }
+    const size_t semi = stripped.find(';', eq);
+    if (semi == std::string_view::npos) {
+      continue;
+    }
+    if (stripped.substr(eq, semi - eq).find("unordered_") != std::string_view::npos) {
+      aliases.insert(alias.name);
+    }
+  }
+  // Pass 2: harvest declared variable/member names.
+  std::set<std::string> names;
+  for (const Ident& id : idents) {
+    if (kUnorderedTypes.count(id.name) != 0 || aliases.count(id.name) != 0) {
+      HarvestDeclName(stripped, id.pos + id.name.size(), &names);
+    }
+  }
+  return names;
+}
+
+// The final identifier of a range-for range expression (`table_`, `*map`,
+// `this->entries_` all yield the trailing name). Empty for call expressions.
+std::string_view FinalIdentifier(std::string_view expr) {
+  size_t end = expr.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(expr[end - 1])) != 0) {
+    --end;
+  }
+  if (end == 0 || !IsIdentChar(expr[end - 1])) {
+    return {};
+  }
+  size_t start = end;
+  while (start > 0 && IsIdentChar(expr[start - 1])) {
+    --start;
+  }
+  return expr.substr(start, end - start);
+}
+
+void CheckUnorderedIter(const std::string& path, std::string_view stripped,
+                        const std::vector<Ident>& idents,
+                        const std::set<std::string>& container_names,
+                        std::vector<Finding>* out) {
+  if (container_names.empty()) {
+    return;
+  }
+  for (const Ident& id : idents) {
+    if (id.name != "for") {
+      continue;
+    }
+    const size_t open = NextNonWs(stripped, id.pos + id.name.size());
+    if (open >= stripped.size() || stripped[open] != '(') {
+      continue;
+    }
+    const size_t close = SkipBalanced(stripped, open, '(', ')');
+    if (close == std::string_view::npos) {
+      continue;
+    }
+    const std::string_view body = stripped.substr(open + 1, close - open - 2);
+    // Range-for: exactly one top-level `:` (not `::`) and no top-level `;`.
+    size_t colon = std::string_view::npos;
+    int depth = 0;
+    bool classic = false;
+    for (size_t i = 0; i < body.size(); ++i) {
+      const char c = body[i];
+      if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == ']' || c == '}') {
+        --depth;
+      } else if (depth == 0 && c == ';') {
+        classic = true;
+        break;
+      } else if (depth == 0 && c == ':') {
+        if (i + 1 < body.size() && body[i + 1] == ':') {
+          ++i;  // Scope resolution.
+          continue;
+        }
+        colon = i;
+      }
+    }
+    if (classic || colon == std::string_view::npos) {
+      continue;
+    }
+    const std::string_view range = body.substr(colon + 1);
+    const std::string_view name = FinalIdentifier(range);
+    if (!name.empty() && container_names.count(std::string(name)) != 0) {
+      out->push_back(Finding{
+          path, LineOf(stripped, id.pos), "unordered-iter",
+          "range-for over unordered container '" + std::string(name) +
+              "' — iteration order is implementation-defined and leaks into "
+              "CSVs/Report/BENCH output; iterate a sorted key list instead"});
+    }
+  }
+}
+
+// --- check-allowlist ----------------------------------------------------------------
+
+// The stage Run paths covered by the PR 8 failure boundary: data-dependent failures
+// return Status; CGRAPH_CHECK is reserved for allowlisted programmer-error invariants.
+const std::set<std::string_view> kStageFiles = {
+    "src/core/trigger_stage.cc", "src/core/trigger_stage.h",
+    "src/core/push_stage.cc",    "src/core/push_stage.h",
+    "src/core/load_stage.cc",    "src/core/load_stage.h",
+};
+
+void CheckStageChecks(const std::string& path, std::string_view stripped,
+                      const std::vector<Ident>& idents, const Config& config,
+                      std::vector<Finding>* out) {
+  if (kStageFiles.count(path) == 0) {
+    return;
+  }
+  for (const Ident& id : idents) {
+    if (id.name.substr(0, 12) != "CGRAPH_CHECK") {
+      continue;
+    }
+    const size_t open = NextNonWs(stripped, id.pos + id.name.size());
+    if (open >= stripped.size() || stripped[open] != '(') {
+      continue;
+    }
+    const size_t close = SkipBalanced(stripped, open, '(', ')');
+    if (close == std::string_view::npos) {
+      continue;
+    }
+    const std::string normalized =
+        std::string(id.name) + "(" +
+        NormalizeWhitespace(stripped.substr(open + 1, close - open - 2)) + ")";
+    if (std::find(config.allowed_stage_checks.begin(),
+                  config.allowed_stage_checks.end(),
+                  normalized) == config.allowed_stage_checks.end()) {
+      out->push_back(Finding{
+          path, LineOf(stripped, id.pos), "check-allowlist",
+          "`" + normalized +
+              "` is not in tools/lint/stage_check_allowlist.txt — data-dependent "
+              "failures in stage Run paths must return Status, not abort"});
+    }
+  }
+}
+
+// --- naked-thread -------------------------------------------------------------------
+
+void CheckNakedThread(const std::string& path, std::string_view stripped,
+                      const std::vector<Ident>& idents, std::vector<Finding>* out) {
+  if (path == "src/runtime/thread_pool.h" || path == "src/runtime/thread_pool.cc") {
+    return;
+  }
+  for (const Ident& id : idents) {
+    const bool std_thread = (id.name == "thread" || id.name == "jthread") &&
+                            PrecededByStd(stripped, id);
+    const bool pthread = id.name == "pthread_create" || id.name == "pthread_t";
+    if (std_thread || pthread) {
+      out->push_back(Finding{
+          path, LineOf(stripped, id.pos), "naked-thread",
+          "raw thread primitive '" + std::string(id.name) +
+              "' — all parallelism goes through ThreadPool "
+              "(src/runtime/thread_pool.h)"});
+    }
+  }
+}
+
+// --- header-guard -------------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string guard;
+  guard.reserve(path.size() + 1);
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+void CheckHeaderGuard(const std::string& path, std::string_view stripped,
+                      std::vector<Finding>* out) {
+  if (!HasSuffix(path, ".h")) {
+    return;
+  }
+  const std::string expected = ExpectedGuard(path);
+  // Collect the preprocessor directives in order, as (line, normalized text).
+  std::vector<std::pair<int, std::string>> directives;
+  int line = 1;
+  size_t start = 0;
+  while (start <= stripped.size()) {
+    size_t nl = stripped.find('\n', start);
+    if (nl == std::string_view::npos) {
+      nl = stripped.size();
+    }
+    std::string_view raw = stripped.substr(start, nl - start);
+    const size_t hash = NextNonWs(raw, 0);
+    if (hash < raw.size() && raw[hash] == '#') {
+      directives.emplace_back(line, NormalizeWhitespace(raw.substr(hash)));
+    }
+    start = nl + 1;
+    ++line;
+  }
+  const std::string want_ifndef = "#ifndef " + expected;
+  const std::string want_define = "#define " + expected;
+  if (directives.empty() || directives[0].second != want_ifndef) {
+    out->push_back(Finding{
+        path, directives.empty() ? 1 : directives[0].first, "header-guard",
+        "first preprocessor directive must be `" + want_ifndef +
+            "` (canonical path-derived include guard)"});
+    return;
+  }
+  if (directives.size() < 2 || directives[1].second != want_define) {
+    out->push_back(Finding{path, directives[0].first, "header-guard",
+                           "`" + want_ifndef + "` must be followed by `" + want_define +
+                               "`"});
+    return;
+  }
+  if (directives.back().second.substr(0, 6) != "#endif") {
+    out->push_back(Finding{path, directives.back().first, "header-guard",
+                           "include guard is never closed with `#endif`"});
+  }
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_close;  // `)delim"` terminator of the active raw string.
+  auto blank = [&out](char c) { out.push_back(c == '\n' ? '\n' : ' '); };
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          blank(c);
+          blank(next);
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          blank(c);
+          blank(next);
+          i += 2;
+        } else if (c == '"') {
+          // Raw string literal? `"` directly preceded by `R` with at most an
+          // encoding prefix (u8 / u / U / L) before it.
+          bool raw = false;
+          if (i > 0 && text[i - 1] == 'R') {
+            size_t q = i - 1;
+            if (q > 0 && text[q - 1] == '8' && q > 1 && text[q - 2] == 'u') {
+              q -= 2;
+            } else if (q > 0 &&
+                       (text[q - 1] == 'u' || text[q - 1] == 'U' ||
+                        text[q - 1] == 'L')) {
+              q -= 1;
+            }
+            raw = q == 0 || !IsIdentChar(text[q - 1]);
+          }
+          if (raw) {
+            size_t d = i + 1;
+            while (d < text.size() && text[d] != '(') {
+              ++d;
+            }
+            raw_close = ")" + std::string(text.substr(i + 1, d - i - 1)) + "\"";
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+          blank(c);
+          ++i;
+        } else if (c == '\'' && i > 0 &&
+                   std::isalnum(static_cast<unsigned char>(text[i - 1])) != 0) {
+          blank(c);  // Digit separator (1'000'000) or literal suffix, not a char.
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          blank(c);
+          ++i;
+        } else {
+          out.push_back(c);
+          ++i;
+        }
+        break;
+      }
+      case State::kLine:
+        if (c == '\n' && (i == 0 || text[i - 1] != '\\')) {
+          state = State::kCode;
+        }
+        blank(c);
+        ++i;
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          blank(c);
+          blank(next);
+          i += 2;
+        } else {
+          blank(c);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < text.size()) {
+          blank(c);
+          blank(next);
+          i += 2;
+        } else {
+          if (c == quote) {
+            state = State::kCode;
+          }
+          blank(c);
+          ++i;
+        }
+        break;
+      }
+      case State::kRaw:
+        if (text.substr(i, raw_close.size()) == raw_close) {
+          for (size_t k = 0; k < raw_close.size(); ++k) {
+            blank(text[i + k]);
+          }
+          i += raw_close.size();
+          state = State::kCode;
+        } else {
+          blank(c);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CollectUnorderedNames(std::string_view stripped) {
+  const std::set<std::string> names = UnorderedNames(stripped);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+std::vector<Finding> LintContent(const std::string& path, std::string_view content,
+                                 const Config& config,
+                                 const std::vector<std::string>& sibling_unordered_names) {
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<Ident> idents = ScanIdentifiers(stripped);
+
+  std::set<std::string> container_names = UnorderedNames(stripped);
+  container_names.insert(sibling_unordered_names.begin(),
+                         sibling_unordered_names.end());
+
+  std::vector<Finding> findings;
+  CheckDeterminism(path, stripped, idents, &findings);
+  CheckUnorderedIter(path, stripped, idents, container_names, &findings);
+  CheckStageChecks(path, stripped, idents, config, &findings);
+  CheckNakedThread(path, stripped, idents, &findings);
+  CheckHeaderGuard(path, stripped, &findings);
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> ApplySuppressions(const std::vector<Finding>& findings,
+                                       const std::vector<std::string>& lines,
+                                       const Config& config, std::vector<bool>* used) {
+  if (used != nullptr && used->size() != config.suppressions.size()) {
+    used->assign(config.suppressions.size(), false);
+  }
+  std::vector<Finding> kept;
+  for (const Finding& f : findings) {
+    bool suppressed = false;
+    for (size_t s = 0; s < config.suppressions.size(); ++s) {
+      const Suppression& sup = config.suppressions[s];
+      if (sup.file != f.file || sup.rule != f.rule) {
+        continue;
+      }
+      const size_t idx = static_cast<size_t>(f.line) - 1;
+      if (idx < lines.size() &&
+          lines[idx].find(sup.needle) != std::string::npos) {
+        suppressed = true;
+        if (used != nullptr) {
+          (*used)[s] = true;
+        }
+        break;
+      }
+    }
+    if (!suppressed) {
+      kept.push_back(f);
+    }
+  }
+  return kept;
+}
+
+bool ParseSuppressionFile(std::string_view content, std::vector<Suppression>* out,
+                          std::string* error) {
+  int line_no = 0;
+  for (const std::string& raw : SplitLines(content)) {
+    ++line_no;
+    const std::string line = NormalizeWhitespace(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t first = line.find(':');
+    const size_t second = first == std::string::npos ? std::string::npos
+                                                     : line.find(':', first + 1);
+    if (second == std::string::npos || second + 1 >= line.size()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) +
+                 ": expected `file:rule:needle`, got `" + line + "`";
+      }
+      return false;
+    }
+    Suppression s;
+    s.file = line.substr(0, first);
+    s.rule = line.substr(first + 1, second - first - 1);
+    s.needle = line.substr(second + 1);
+    s.line = line_no;
+    out->push_back(std::move(s));
+  }
+  return true;
+}
+
+std::vector<std::string> ParseAllowlistFile(std::string_view content) {
+  std::vector<std::string> out;
+  for (const std::string& raw : SplitLines(content)) {
+    const std::string line = NormalizeWhitespace(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    out.push_back(line);
+  }
+  return out;
+}
+
+std::string NormalizeWhitespace(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = !out.empty();
+    } else {
+      if (pending_space) {
+        out.push_back(' ');
+        pending_space = false;
+      }
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << " " << f.rule << " " << f.message << "\n";
+  }
+  return os.str();
+}
+
+std::vector<Finding> LintTree(const std::string& repo_root,
+                              const std::vector<std::string>& roots,
+                              const Config& config) {
+  namespace fs = std::filesystem;
+  std::set<std::string> paths;  // Repo-relative, sorted — the scan order.
+  for (const std::string& root : roots) {
+    const fs::path abs = fs::path(repo_root) / root;
+    std::error_code ec;
+    if (fs::is_regular_file(abs, ec)) {
+      paths.insert(root);
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(abs, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (!it->is_regular_file()) {
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      paths.insert(fs::relative(it->path(), repo_root).generic_string());
+    }
+  }
+
+  auto read = [&](const std::string& rel, std::string* out) {
+    std::ifstream in(fs::path(repo_root) / rel, std::ios::binary);
+    if (!in) {
+      return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+  };
+
+  std::vector<Finding> all;
+  std::vector<bool> used(config.suppressions.size(), false);
+  for (const std::string& path : paths) {
+    std::string content;
+    if (!read(path, &content)) {
+      all.push_back(Finding{path, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    // A .cc iterating a container declared in its own header is still caught.
+    std::vector<std::string> sibling_names;
+    if (HasSuffix(path, ".cc") || HasSuffix(path, ".cpp")) {
+      const std::string header =
+          path.substr(0, path.rfind('.')) + ".h";
+      std::string header_content;
+      if (read(header, &header_content)) {
+        sibling_names =
+            CollectUnorderedNames(StripCommentsAndStrings(header_content));
+      }
+    }
+    const std::vector<Finding> raw =
+        LintContent(path, content, config, sibling_names);
+    const std::vector<Finding> kept =
+        ApplySuppressions(raw, SplitLines(content), config, &used);
+    all.insert(all.end(), kept.begin(), kept.end());
+  }
+  for (size_t s = 0; s < config.suppressions.size(); ++s) {
+    if (!used[s]) {
+      const Suppression& sup = config.suppressions[s];
+      all.push_back(Finding{
+          config.suppression_file.empty() ? std::string("<suppressions>")
+                                          : config.suppression_file,
+          sup.line, "unused-suppression",
+          "suppression matched no finding: " + sup.file + ":" + sup.rule + ":" +
+              sup.needle + " — delete it so the baseline cannot rot"});
+    }
+  }
+  SortFindings(&all);
+  return all;
+}
+
+}  // namespace cgraph::lint

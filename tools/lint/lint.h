@@ -1,0 +1,113 @@
+// cgraph-lint: repo-specific static invariant checks (docs/static_analysis.md).
+//
+// A deliberately dependency-free, token/line-level linter for the invariants the
+// compiler cannot see but the repo's contracts depend on:
+//
+//   determinism-clock    no wall-clock reads anywhere in src/ or tools/ — modeled
+//                        metrics must be byte-identical across runs/workers; the one
+//                        sanctioned reader (src/common/timer.h's WallTimer, which only
+//                        feeds the explicitly wall-clock bench columns) carries the
+//                        single justified baseline suppression;
+//   determinism-rand     no C rand()/std random engines outside src/common/prng.h
+//                        (seeded SplitMix64/Xoshiro are the only sanctioned sources);
+//   unordered-iter       no range-for over std::unordered_{map,set} in src/ or tools/
+//                        (iteration order is implementation-defined and leaks into
+//                        CSVs / Report / BENCH JSON);
+//   check-allowlist      CGRAPH_CHECK in the stage Run paths only on allowlisted
+//                        programmer-error conditions (data-dependent failures must
+//                        return Status — the PR 8 failure boundary);
+//   naked-thread         no std::thread / pthread_create outside src/runtime/
+//                        thread_pool.* (all parallelism goes through ThreadPool);
+//   header-guard         every header carries the canonical include guard derived from
+//                        its path (the static half of header self-containment; the
+//                        compile half is the generated header_selfcheck target).
+//
+// The lexer strips comments and string/character literals first (preserving line
+// structure), so prose and literals never trip token rules — which also lets the
+// linter lint its own sources. Output is deterministic: findings sorted by
+// (file, line, rule, message), printed as `file:line rule message`.
+
+#ifndef TOOLS_LINT_LINT_H_
+#define TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgraph::lint {
+
+struct Finding {
+  std::string file;  // Path as given (repo-relative when scanning a tree).
+  int line = 0;      // 1-based.
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+// One suppression entry: `file:rule:needle` — a finding is suppressed when its file
+// and rule match exactly and `needle` is a substring of the offending source line.
+// Unused entries are themselves reported (rule `unused-suppression`) so the baseline
+// cannot rot.
+struct Suppression {
+  std::string file;
+  std::string rule;
+  std::string needle;
+  int line = 0;  // Line in the suppression file (for unused-entry reporting).
+};
+
+struct Config {
+  // Normalized (whitespace-collapsed) `MACRO(condition)` strings permitted by the
+  // check-allowlist rule in stage Run-path files.
+  std::vector<std::string> allowed_stage_checks;
+  std::vector<Suppression> suppressions;
+  std::string suppression_file;  // Label for unused-suppression findings.
+};
+
+// Replaces //- and /**/-comments and the contents of string/char literals (including
+// raw strings) with spaces, preserving newlines so line numbers survive.
+std::string StripCommentsAndStrings(std::string_view text);
+
+// Lints one file's content. `path` should be repo-relative with forward slashes; rule
+// applicability (prng.h / thread_pool.* / stage files) keys off it.
+// `sibling_unordered_names` carries unordered-container member names declared in the
+// file's own header so a .cc iterating a map declared in its .h is still caught.
+std::vector<Finding> LintContent(const std::string& path, std::string_view content,
+                                 const Config& config,
+                                 const std::vector<std::string>& sibling_unordered_names = {});
+
+// The unordered_{map,set} variable/member names declared in `content` — exposed so
+// LintTree (and tests) can feed a header's declarations to its sibling .cc.
+std::vector<std::string> CollectUnorderedNames(std::string_view stripped);
+
+// Lints every .h/.cc/.cpp under `roots` (relative to `repo_root`), applying
+// suppressions and appending unused-suppression findings. Deterministic order.
+std::vector<Finding> LintTree(const std::string& repo_root,
+                              const std::vector<std::string>& roots, const Config& config);
+
+// Filters `findings` through `config.suppressions` (matching against `lines`, the
+// original source lines of the file the findings came from) and marks used entries in
+// `used` (parallel to config.suppressions).
+std::vector<Finding> ApplySuppressions(const std::vector<Finding>& findings,
+                                       const std::vector<std::string>& lines,
+                                       const Config& config, std::vector<bool>* used);
+
+// Parses a suppression file: one `file:rule:needle` per line, `#` comments and blank
+// lines ignored. Returns false on malformed lines (error message in *error).
+bool ParseSuppressionFile(std::string_view content, std::vector<Suppression>* out,
+                          std::string* error);
+
+// Parses the stage-check allowlist: one normalized `MACRO(condition)` per line, `#`
+// comments and blank lines ignored.
+std::vector<std::string> ParseAllowlistFile(std::string_view content);
+
+// Collapses all whitespace runs to single spaces and trims — the normal form used to
+// compare CGRAPH_CHECK conditions against the allowlist.
+std::string NormalizeWhitespace(std::string_view text);
+
+// Renders findings as `file:line rule message`, one per line, already sorted.
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+}  // namespace cgraph::lint
+
+#endif  // TOOLS_LINT_LINT_H_

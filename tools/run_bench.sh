@@ -242,6 +242,8 @@ if [ "${SMOKE:-0}" = "1" ]; then
   # 5% tolerance absorbs CI wall noise without letting a real oversubscription
   # regression (historically ~4% at workers=4 on single-core runners, and unboundedly
   # worse the more the pool oversubscribes) slip through.
+  SCALE_W1=""
+  SCALE_W4=""
   for W in 1 4; do
     POINT=$(mktemp)
     for _ in $(seq "$RUNS_PER_POINT"); do
@@ -249,7 +251,7 @@ if [ "${SMOKE:-0}" = "1" ]; then
     done
     MEDIAN=$(sort -g "$POINT" | awk -v n="$RUNS_PER_POINT" 'NR == int((n + 1) / 2)')
     rm -f "$POINT"
-    eval "SCALE_W${W}=$MEDIAN"
+    if [ "$W" = 1 ]; then SCALE_W1=$MEDIAN; else SCALE_W4=$MEDIAN; fi
   done
   echo "scaling smoke: workers=1 median ${SCALE_W1}s, workers=4 median ${SCALE_W4}s"
   awk -v w1="$SCALE_W1" -v w4="$SCALE_W4" 'BEGIN { exit (w4 <= w1 * 1.05) ? 0 : 1 }' || {
